@@ -1,0 +1,45 @@
+//! T3 wall-clock companion: the distributed queue's throughput at different
+//! bandwidths (the simulated-network cost is in `report_theorem3`; this
+//! measures the simulation's real cost per queue operation).
+
+use std::time::Duration;
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmpq::DistributedPq;
+use rand::Rng;
+
+fn bench_queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmpq_512ops");
+    for (q, b) in [(2usize, 4usize), (3, 8), (3, 32)] {
+        group.bench_with_input(BenchmarkId::new(format!("q{q}"), b), &b, |bench, &b| {
+            bench.iter(|| {
+                let mut rng = workloads::rng(b as u64);
+                let mut pq = DistributedPq::new(q, b);
+                for _ in 0..256 {
+                    pq.insert(rng.gen_range(-1_000_000..1_000_000));
+                }
+                let mut out = 0i64;
+                for _ in 0..256 {
+                    out ^= pq.extract_min().expect("nonempty");
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_queue_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! T2/A2 wall-clock companion: lazy Delete (Take-Up + periodic
+//! Arrange-Heap) against eager Delete on identical victim sequences.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meldpq::lazy::LazyBinomialHeap;
+use meldpq::NodeId;
+
+fn build(n: usize, p: usize) -> (LazyBinomialHeap, Vec<NodeId>) {
+    let mut h = LazyBinomialHeap::new(p);
+    let ids = (0..n as i64).map(|k| h.insert(k)).collect();
+    (h, ids)
+}
+
+fn bench_delete_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delete_batch");
+    for n in [1usize << 10, 1 << 12] {
+        // Victims: a prefix of internal (non-root) nodes.
+        group.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n, 4),
+                |(mut h, ids)| {
+                    let batch = h.arrange_threshold();
+                    let mut done = 0;
+                    for id in ids.iter().rev() {
+                        if done == batch {
+                            break;
+                        }
+                        if h.key_of(*id).is_some() && h.parent_of(*id).is_some() {
+                            h.delete(*id);
+                            done += 1;
+                        }
+                    }
+                    h
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("eager", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n, 4),
+                |(mut h, ids)| {
+                    let batch = h.arrange_threshold();
+                    let mut done = 0;
+                    for id in ids.iter().rev() {
+                        if done == batch {
+                            break;
+                        }
+                        if h.key_of(*id).is_some() && h.parent_of(*id).is_some() {
+                            h.delete_eager(*id);
+                            done += 1;
+                        }
+                    }
+                    h
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_delete_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! W2: where real threads actually pay — the bulk prefix primitives
+//! (rayon vs sequential) that back the parallel engines. A single union's
+//! `O(log n)` positions are far below thread-dispatch cost (documented in
+//! DESIGN.md §5); the scans only win at bulk sizes, shown here.
+
+use std::time::Duration;
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_scan");
+    for n in [1usize << 14, 1 << 20, 1 << 22] {
+        let mut rng = workloads::rng(n as u64);
+        let xs = workloads::random_keys(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| parscan::seq::scan_inclusive(&xs, |a, b| a.min(b)))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
+            b.iter(|| parscan::par::scan_inclusive(&xs, i64::MAX, |a, b| a.min(b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_segmented_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmented_min");
+    for n in [1usize << 14, 1 << 20] {
+        let mut rng = workloads::rng(7 + n as u64);
+        let xs = workloads::random_keys(&mut rng, n);
+        let flags: Vec<bool> = (0..n).map(|i| i % 97 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| parscan::seq::segmented_prefix_min(&flags, &xs))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
+            b.iter(|| parscan::par::segmented_prefix_min(&flags, &xs, i64::MAX))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_build");
+    for n in [1usize << 16, 1 << 20] {
+        let mut rng = workloads::rng(99 + n as u64);
+        let keys = workloads::random_keys(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| meldpq::ParBinomialHeap::from_keys(keys.iter().copied()))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
+            b.iter(|| meldpq::ParBinomialHeap::<i64>::from_keys_parallel(&keys))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scans, bench_segmented_min, bench_bulk_build
+}
+criterion_main!(benches);

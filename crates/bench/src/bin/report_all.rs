@@ -1,0 +1,103 @@
+//! Run the complete experiment suite and write every report (text + JSON)
+//! into `./reports/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin report_all
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use bench::experiments::*;
+use bench::json::{a1_json, a3_json, a3_measured_json, t1_json, t1_ops_json, t2_json, t3_json, J};
+use bench::row;
+use bench::table::render;
+
+fn main() {
+    fs::create_dir_all("reports").expect("create reports/");
+    let mut index = String::new();
+
+    // ---- figures ----
+    let mut fig = String::new();
+    let (h, rows) = figure1_rows();
+    let _ = writeln!(fig, "== Figure 1 ==\n\n{}", render(&h, &rows));
+    let (h, rows) = figure2_rows();
+    let _ = writeln!(fig, "== Figure 2 ==\n\n{}", render(&h, &rows));
+    let st = figure3();
+    let _ = writeln!(
+        fig,
+        "== Figure 3 ==\n\nD_p = {:?}\nL_p = {:?}\nx children = {:?}\ny children = {:?}\n",
+        st.d_p, st.l_p, st.x_children, st.y_children
+    );
+    let (h, rows, load) = figure4_rows();
+    let _ = writeln!(
+        fig,
+        "== Figure 4 ==\n\n{}\nload = {load:?}",
+        render(&h, &rows)
+    );
+    fs::write("reports/figures.txt", &fig).expect("write figures");
+    index.push_str("figures.txt\n");
+
+    // ---- theorems ----
+    let bits = [8usize, 12, 16, 20, 24];
+    let t1 = theorem1(&bits, &[1, 2, 4, 8, 16]);
+    let t1o = theorem1_ops(&[8, 12, 16, 20]);
+    let t2 = theorem2(&[1 << 8, 1 << 12, 1 << 16, 1 << 20]);
+    let mut t3 = Vec::new();
+    for q in [2usize, 3, 4] {
+        t3.extend(theorem3(q, &[1, 2, 4, 8, 16, 32, 64], 256));
+    }
+    let a1 = ablation_a1(&[8, 12, 16, 20]);
+    let a3 = ablation_a3(&[2, 3, 4, 5, 6], 256);
+    let a3m: Vec<J> = [(2usize, 8usize), (3, 8)]
+        .iter()
+        .map(|&(q, b)| a3_measured_json(&ablation_a3_measured(q, b, 128)))
+        .collect();
+
+    let json = J::obj([
+        ("theorem1", t1_json(&t1)),
+        ("theorem1_ops", t1_ops_json(&t1o)),
+        ("theorem2", t2_json(&t2)),
+        ("theorem3", t3_json(&t3)),
+        ("ablation_a1", a1_json(&a1)),
+        ("ablation_a3_hops", a3_json(&a3)),
+        ("ablation_a3_measured", J::Arr(a3m)),
+    ]);
+    fs::write("reports/experiments.json", format!("{json}\n")).expect("write json");
+    index.push_str("experiments.json\n");
+
+    // text summaries
+    let mut txt = String::new();
+    let _ = writeln!(txt, "== T1 (all-ones Union) ==\n");
+    let table: Vec<Vec<String>> = t1.iter().map(|r| row![r.n, r.p, r.time, r.work]).collect();
+    let _ = writeln!(txt, "{}", render(&["n", "p", "time", "work"], &table));
+    let _ = writeln!(txt, "== T2 (amortized Delete) ==\n");
+    let table: Vec<Vec<String>> = t2
+        .iter()
+        .map(|r| {
+            row![
+                r.n,
+                r.deletes,
+                format!("{:.1}", r.amortized_time),
+                format!("{:.1}", r.amortized_work),
+                r.eager.time
+            ]
+        })
+        .collect();
+    let _ = writeln!(
+        txt,
+        "{}",
+        render(&["n", "deletes", "amort_t", "amort_w", "eager_t"], &table)
+    );
+    let _ = writeln!(txt, "== T3 (bandwidth sweep) ==\n");
+    let table: Vec<Vec<String>> = t3
+        .iter()
+        .map(|r| row![r.q, r.b, format!("{:.2}", r.amortized_time)])
+        .collect();
+    let _ = writeln!(txt, "{}", render(&["q", "b", "amortized/op"], &table));
+    fs::write("reports/experiments.txt", &txt).expect("write txt");
+    index.push_str("experiments.txt\n");
+
+    fs::write("reports/INDEX", &index).expect("write index");
+    println!("wrote:\n{index}");
+}

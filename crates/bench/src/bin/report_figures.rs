@@ -1,0 +1,42 @@
+//! Regenerate every figure of the paper (F1–F4 in DESIGN.md).
+//!
+//! ```text
+//! cargo run --release -p bench --bin report_figures
+//! ```
+
+use bench::experiments::{figure1_rows, figure2_rows, figure3, figure4_rows};
+use bench::table::render;
+
+fn main() {
+    println!("== Figure 1: carry-chain point classification ==");
+    println!("H1 = {{B1,B3,B5,B6}}, H2 = {{B0,B1,B2,B5}}\n");
+    let (h, rows) = figure1_rows();
+    println!("{}", render(&h, &rows));
+
+    println!("== Figure 2: segmented prefix minima ==\n");
+    let (h, rows) = figure2_rows();
+    println!("{}", render(&h, &rows));
+
+    println!("== Figure 3: Take-Up(x) on the example heap ==");
+    let st = figure3();
+    println!("(keys: p(x)=0, z=1, y=2, t=3, x=4, s=5, w=6)\n");
+    println!("after Take-Up(x):");
+    println!(
+        "  D_p(x) = {:?}   (paper: z at slot 0, x at slot 1)",
+        st.d_p
+    );
+    println!("  L_p(x) = {:?}   (paper: y at slot 2)", st.l_p);
+    println!(
+        "  children of x = {:?}   (paper: D_x[0] = s)",
+        st.x_children
+    );
+    println!(
+        "  children of y = {:?}   (paper: L_y[0] = t, L_y[1] = w)\n",
+        st.y_children
+    );
+
+    println!("== Figure 4: 27-node heap mapped onto Q_2 ==\n");
+    let (h, rows, load) = figure4_rows();
+    println!("{}", render(&h, &rows));
+    println!("per-processor load: {load:?} (imbalance the paper notes)\n");
+}

@@ -1,0 +1,121 @@
+//! Theorem 1 evidence: EREW `Union` in `O(log log n + log n / p)` time and
+//! `O(log n)` work at `p = log n / log log n` — measured on the simulator.
+//!
+//! ```text
+//! cargo run --release -p bench --bin report_theorem1
+//! ```
+
+use bench::experiments::{make_queue, theorem1, theorem1_ops};
+use bench::row;
+use bench::table::render;
+use bench::workloads::theorem_p;
+
+fn main() {
+    let bits = [8usize, 12, 16, 20, 24, 28];
+    let ps = [1usize, 2, 4, 8, 16];
+    if bench::json::json_mode() {
+        let rows = theorem1(&bits, &ps);
+        let ops = theorem1_ops(&[8, 12, 16, 20]);
+        println!(
+            "{}",
+            bench::json::J::obj([
+                ("theorem1", bench::json::t1_json(&rows)),
+                ("theorem1_ops", bench::json::t1_ops_json(&ops)),
+            ])
+        );
+        return;
+    }
+    println!("== Theorem 1: PRAM Union cost (worst-case all-ones melds) ==\n");
+    let rows = theorem1(&bits, &ps);
+    // Self-speedup against the same program at p = 1.
+    let t1_of = |n: usize| -> u64 {
+        rows.iter()
+            .find(|r| r.n == n && r.p == 1)
+            .expect("p=1 row present")
+            .time
+    };
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            row![
+                r.n,
+                r.p,
+                r.time,
+                r.work,
+                r.seq_steps,
+                format!("{:.2}", t1_of(r.n) as f64 / r.time as f64)
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "n",
+                "p",
+                "pram_time",
+                "pram_work",
+                "ripple_depth",
+                "self_speedup"
+            ],
+            &table
+        )
+    );
+
+    println!("== at the theorem's p = log n / log log n ==\n");
+    let rows: Vec<Vec<String>> = bits
+        .iter()
+        .map(|&b| {
+            let n = (1usize << b) - 1;
+            let p = theorem_p(n);
+            let r = &theorem1(&[b], &[p])[0];
+            let loglog = (64 - (b as u64).leading_zeros()) as f64;
+            row![
+                n,
+                p,
+                r.time,
+                format!("{:.2}", r.time as f64 / loglog),
+                r.work,
+                format!("{:.2}", r.work as f64 / b as f64)
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["n", "p*", "time", "time/loglog n", "work", "work/log n"],
+            &rows
+        )
+    );
+    println!("Shape check: time/loglog n and work/log n must stay near-constant");
+    println!("as n grows (Theorem 1's O(log log n) time, O(log n) work).\n");
+
+    println!("== all three operations at p* (Insert / Extract-Min / Union) ==\n");
+    // Real heaps are built for these (memory-bound): cap at 2^20 keys.
+    let op_bits = [8usize, 12, 16, 20];
+    let rows: Vec<Vec<String>> = theorem1_ops(&op_bits)
+        .iter()
+        .map(|r| row![r.n, r.p, r.insert_time, r.extract_time, r.union_time])
+        .collect();
+    println!(
+        "{}",
+        render(&["n", "p*", "insert_t", "extract_t", "union_t"], &rows)
+    );
+    println!("All three stay O(log log n)-flat; Extract-Min ≈ reduction + Union.\n");
+
+    println!("== Make-Queue (parallel initialization, measured) ==\n");
+    let rows: Vec<Vec<String>> = make_queue(&[1 << 10, 1 << 14, 1 << 18], &[1, 4, 16, 64])
+        .iter()
+        .map(|r| {
+            row![
+                r.n,
+                r.p,
+                r.time,
+                r.work,
+                format!("{:.3}", r.work as f64 / r.n as f64)
+            ]
+        })
+        .collect();
+    println!("{}", render(&["n", "p", "time", "work", "work/n"], &rows));
+    println!("O(n) work (≈1 link per key), time ~ n/p + log n: optimal init.");
+}

@@ -1,0 +1,62 @@
+//! Theorem 2 evidence: a batch of `⌊log n / log log n⌋` lazy deletions costs
+//! `O(log n)` time total on `p = log n / log log n` processors, i.e.
+//! `O(log log n)` amortized — against the eager-deletion baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin report_theorem2
+//! ```
+
+use bench::experiments::theorem2;
+use bench::row;
+use bench::table::render;
+
+fn main() {
+    let ns = [1usize << 8, 1 << 12, 1 << 16, 1 << 20, 1 << 24];
+    if bench::json::json_mode() {
+        println!("{}", bench::json::t2_json(&theorem2(&ns)));
+        return;
+    }
+    println!("== Theorem 2: amortized lazy Delete (one arrange batch) ==\n");
+    let rows = theorem2(&ns);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let log = (usize::BITS - r.n.leading_zeros()) as f64;
+            let loglog = log.log2().max(1.0);
+            row![
+                r.n,
+                r.p,
+                r.deletes,
+                r.take_up.time,
+                r.arrange.time,
+                format!("{:.1}", r.amortized_time),
+                format!("{:.2}", r.amortized_time / loglog),
+                format!("{:.1}", r.amortized_work),
+                format!("{:.2}", r.amortized_work / log),
+                r.eager.time
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "n",
+                "p",
+                "deletes",
+                "takeup_t",
+                "arrange_t",
+                "amort_t",
+                "amort_t/llog",
+                "amort_w",
+                "amort_w/log",
+                "eager_t"
+            ],
+            &table
+        )
+    );
+    println!("Shape check: amort_t/llog and amort_w/log stay near-constant");
+    println!("(Theorem 2: O(log log n) amortized time, O(log n) amortized work),");
+    println!("while the eager baseline's total time grows with every delete's");
+    println!("full O(log n) restructuring.");
+}

@@ -1,0 +1,249 @@
+//! Minimal JSON emission for the report binaries' `--json` mode, so the
+//! experiment tables can be consumed by plotting scripts without parsing
+//! aligned text. Deliberately dependency-free: the values we emit are flat
+//! records of numbers and short strings.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum J {
+    /// Integer.
+    Int(i64),
+    /// Unsigned (kept separate to avoid lossy casts of u64 meters).
+    UInt(u64),
+    /// Float (serialised with enough precision for replotting).
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Array.
+    Arr(Vec<J>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, J)>),
+}
+
+impl J {
+    /// Object constructor from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, J)>>(pairs: I) -> J {
+        J::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for J {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            J::Int(v) => write!(f, "{v}"),
+            J::UInt(v) => write!(f, "{v}"),
+            J::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            J::Str(s) => escape(s, f),
+            J::Bool(b) => write!(f, "{b}"),
+            J::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            J::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Whether the process arguments request JSON output.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+// ---- serializers for the experiment rows ----
+
+use crate::experiments::{A1Row, A3MeasuredRow, A3Row, T1OpsRow, T1Row, T2Row, T3Row};
+
+/// T1 rows → JSON array.
+pub fn t1_json(rows: &[T1Row]) -> J {
+    J::Arr(
+        rows.iter()
+            .map(|r| {
+                J::obj([
+                    ("n", J::UInt(r.n as u64)),
+                    ("p", J::UInt(r.p as u64)),
+                    ("time", J::UInt(r.time)),
+                    ("work", J::UInt(r.work)),
+                    ("seq_steps", J::UInt(r.seq_steps)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// T1 per-operation rows → JSON array.
+pub fn t1_ops_json(rows: &[T1OpsRow]) -> J {
+    J::Arr(
+        rows.iter()
+            .map(|r| {
+                J::obj([
+                    ("n", J::UInt(r.n as u64)),
+                    ("p", J::UInt(r.p as u64)),
+                    ("insert_time", J::UInt(r.insert_time)),
+                    ("extract_time", J::UInt(r.extract_time)),
+                    ("union_time", J::UInt(r.union_time)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// T2 rows → JSON array.
+pub fn t2_json(rows: &[T2Row]) -> J {
+    J::Arr(
+        rows.iter()
+            .map(|r| {
+                J::obj([
+                    ("n", J::UInt(r.n as u64)),
+                    ("p", J::UInt(r.p as u64)),
+                    ("deletes", J::UInt(r.deletes as u64)),
+                    ("take_up_time", J::UInt(r.take_up.time)),
+                    ("take_up_work", J::UInt(r.take_up.work)),
+                    ("arrange_time", J::UInt(r.arrange.time)),
+                    ("arrange_work", J::UInt(r.arrange.work)),
+                    ("amortized_time", J::Num(r.amortized_time)),
+                    ("amortized_work", J::Num(r.amortized_work)),
+                    ("eager_time", J::UInt(r.eager.time)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// T3 rows → JSON array.
+pub fn t3_json(rows: &[T3Row]) -> J {
+    J::Arr(
+        rows.iter()
+            .map(|r| {
+                J::obj([
+                    ("q", J::UInt(r.q as u64)),
+                    ("b", J::UInt(r.b as u64)),
+                    ("ops", J::UInt(r.ops as u64)),
+                    ("total_time", J::UInt(r.total_time)),
+                    ("words", J::UInt(r.words)),
+                    ("amortized_time", J::Num(r.amortized_time)),
+                    ("per_multiop_time", J::Num(r.per_multiop_time)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A1 rows → JSON array.
+pub fn a1_json(rows: &[A1Row]) -> J {
+    J::Arr(
+        rows.iter()
+            .map(|r| {
+                J::obj([
+                    ("n", J::UInt(r.n as u64)),
+                    ("ripple_chain", J::UInt(r.ripple_chain)),
+                    ("pram_time", J::UInt(r.pram_time)),
+                    ("pram_time_p1", J::UInt(r.pram_time_p1)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A3 rows → JSON array.
+pub fn a3_json(rows: &[A3Row]) -> J {
+    J::Arr(
+        rows.iter()
+            .map(|r| {
+                J::obj([
+                    ("q", J::UInt(r.q as u64)),
+                    ("gray_hops", J::UInt(r.gray_hops)),
+                    ("identity_hops", J::UInt(r.identity_hops)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Measured A3 row → JSON object.
+pub fn a3_measured_json(r: &A3MeasuredRow) -> J {
+    J::obj([
+        ("q", J::UInt(r.q as u64)),
+        ("b", J::UInt(r.b as u64)),
+        ("gray_time", J::UInt(r.gray_time)),
+        ("gray_words", J::UInt(r.gray_words)),
+        ("identity_time", J::UInt(r.identity_time)),
+        ("identity_words", J::UInt(r.identity_words)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escaping() {
+        assert_eq!(J::Int(-5).to_string(), "-5");
+        assert_eq!(J::UInt(7).to_string(), "7");
+        assert_eq!(J::Bool(true).to_string(), "true");
+        assert_eq!(J::Num(1.5).to_string(), "1.5");
+        assert_eq!(J::Num(f64::NAN).to_string(), "null");
+        assert_eq!(J::Str("a\"b\\c\nd".into()).to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = J::obj([
+            ("xs", J::Arr(vec![J::Int(1), J::Int(2)])),
+            ("name", J::Str("t1".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"xs":[1,2],"name":"t1"}"#);
+    }
+
+    #[test]
+    fn experiment_rows_serialise() {
+        let rows = crate::experiments::theorem1(&[8], &[1, 2]);
+        let s = t1_json(&rows).to_string();
+        assert!(s.starts_with('['));
+        assert!(s.contains("\"work\""));
+        // Every row appears.
+        assert_eq!(s.matches("{\"n\"").count(), 2);
+    }
+}

@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # bench — experiment harness
+//!
+//! Everything needed to regenerate the paper's figures and to measure the
+//! theorem-shaped scaling claims:
+//!
+//! * [`workloads`] — seeded random heap builders and operation scripts;
+//! * [`table`] — plain-text table rendering for the `report_*` binaries;
+//! * [`experiments`] — the data behind every experiment in DESIGN.md §4
+//!   (F1–F4 figure reproductions, T1–T3 theorem scalings, A1–A4 ablations),
+//!   shared by the report binaries, the integration tests and the Criterion
+//!   benches.
+
+pub mod experiments;
+pub mod json;
+pub mod table;
+pub mod workloads;

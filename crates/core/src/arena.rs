@@ -1,0 +1,223 @@
+//! Slab arena for binomial-heap nodes.
+//!
+//! Nodes are stored in a contiguous `Vec` and addressed by [`NodeId`]
+//! handles, mirroring the paper's shared-memory representation (§2): each
+//! node carries `key`, `parent`, and the child array `L` where slot `i`
+//! points at the root of the child sub-tree `B_i`. The arena keeps a free
+//! list so deleted nodes are recycled.
+
+/// Handle to a node in an [`Arena`]. `u32` keeps the hot structures small
+/// (perf-book: smaller indices beat pointers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Convert to a PRAM machine word.
+    pub fn to_word(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Convert back from a PRAM machine word (must not be `NIL`).
+    pub fn from_word(w: i64) -> NodeId {
+        debug_assert!(w >= 0, "NIL is not a NodeId");
+        NodeId(w as u32)
+    }
+}
+
+/// A binomial-tree node: key plus the paper's `parent` and `L` fields.
+/// The degree is `children.len()`.
+#[derive(Debug, Clone)]
+pub struct Node<K> {
+    /// The priority key.
+    pub key: K,
+    /// Parent pointer (`None` for roots).
+    pub parent: Option<NodeId>,
+    /// Child array `L`: slot `i` is the root of the child `B_i`. Dense for a
+    /// clean binomial tree of degree `children.len()`.
+    pub children: Vec<NodeId>,
+}
+
+/// Slab arena with free-list recycling.
+#[derive(Debug, Clone, Default)]
+pub struct Arena<K> {
+    nodes: Vec<Option<Node<K>>>,
+    free: Vec<u32>,
+}
+
+impl<K> Arena<K> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            nodes: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// An empty arena with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocate a fresh leaf node.
+    pub fn alloc(&mut self, key: K) -> NodeId {
+        let node = Node {
+            key,
+            parent: None,
+            children: Vec::new(),
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = Some(node);
+                NodeId(idx)
+            }
+            None => {
+                self.nodes.push(Some(node));
+                NodeId((self.nodes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Free a node, recycling its slot. The caller must have unlinked it.
+    pub fn dealloc(&mut self, id: NodeId) -> Node<K> {
+        let n = self.nodes[id.0 as usize]
+            .take()
+            .expect("dealloc of a dead node");
+        self.free.push(id.0);
+        n
+    }
+
+    /// Borrow a node.
+    pub fn get(&self, id: NodeId) -> &Node<K> {
+        self.nodes[id.0 as usize].as_ref().expect("dead node")
+    }
+
+    /// Borrow a node mutably.
+    pub fn get_mut(&mut self, id: NodeId) -> &mut Node<K> {
+        self.nodes[id.0 as usize].as_mut().expect("dead node")
+    }
+
+    /// Whether `id` refers to a live node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.0 as usize)
+            .is_some_and(|slot| slot.is_some())
+    }
+
+    /// Iterate over `(id, node)` for all live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<K>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
+    /// Absorb all nodes of `other`, returning a remapping function applied to
+    /// its ids: every `NodeId` from `other` must be translated. Children and
+    /// parent pointers inside the moved nodes are rewritten here.
+    pub fn absorb(&mut self, other: Arena<K>) -> impl Fn(NodeId) -> NodeId {
+        // Map other's slot -> new id.
+        let mut map: Vec<u32> = vec![u32::MAX; other.nodes.len()];
+        let mut moved: Vec<(u32, Node<K>)> = Vec::with_capacity(other.len());
+        for (i, slot) in other.nodes.into_iter().enumerate() {
+            if let Some(node) = slot {
+                moved.push((i as u32, node));
+            }
+        }
+        for (old, node) in &moved {
+            let new_id = match self.free.pop() {
+                Some(idx) => {
+                    self.nodes[idx as usize] = None; // placeholder, filled below
+                    idx
+                }
+                None => {
+                    self.nodes.push(None);
+                    (self.nodes.len() - 1) as u32
+                }
+            };
+            map[*old as usize] = new_id;
+            let _ = node; // moved in next pass
+        }
+        for (old, mut node) in moved {
+            let new_id = map[old as usize];
+            node.parent = node.parent.map(|p| NodeId(map[p.0 as usize]));
+            for c in &mut node.children {
+                *c = NodeId(map[c.0 as usize]);
+            }
+            self.nodes[new_id as usize] = Some(node);
+        }
+        move |id: NodeId| {
+            let m = map[id.0 as usize];
+            debug_assert_ne!(m, u32::MAX, "remapping a dead node");
+            NodeId(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_dealloc_roundtrip() {
+        let mut a: Arena<i64> = Arena::new();
+        let x = a.alloc(5);
+        let y = a.alloc(9);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(x).key, 5);
+        assert_eq!(a.get(y).key, 9);
+        let n = a.dealloc(x);
+        assert_eq!(n.key, 5);
+        assert!(!a.contains(x));
+        assert_eq!(a.len(), 1);
+        // Slot is recycled.
+        let z = a.alloc(7);
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn absorb_remaps_pointers() {
+        let mut a: Arena<i64> = Arena::new();
+        let _pad = a.alloc(0); // offset a's ids
+        let mut b: Arena<i64> = Arena::new();
+        let child = b.alloc(10);
+        let root = b.alloc(1);
+        b.get_mut(root).children.push(child);
+        b.get_mut(child).parent = Some(root);
+
+        let remap = a.absorb(b);
+        let new_root = remap(root);
+        let new_child = remap(child);
+        assert_eq!(a.get(new_root).key, 1);
+        assert_eq!(a.get(new_root).children, vec![new_child]);
+        assert_eq!(a.get(new_child).parent, Some(new_root));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead node")]
+    fn get_after_dealloc_panics() {
+        let mut a: Arena<i64> = Arena::new();
+        let x = a.alloc(1);
+        a.dealloc(x);
+        let _ = a.get(x);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let id = NodeId(42);
+        assert_eq!(NodeId::from_word(id.to_word()), id);
+    }
+}

@@ -1,0 +1,140 @@
+//! Bulk operations on [`ParBinomialHeap`] — where real threads pay off.
+//!
+//! A single `Union` touches only `O(log n)` root positions, far below the
+//! granularity at which thread dispatch wins (DESIGN.md §5). Bulk builds are
+//! different: `from_keys_parallel` splits the key set, builds sub-heaps on
+//! rayon workers, and melds the results up a binary tree — the same
+//! balanced-union pattern `Arrange-Heap` uses (§4.2), here applied for
+//! wall-clock speed-up. `multi_insert` reuses it for batched insertion.
+
+use crate::heap::{Engine, ParBinomialHeap};
+
+/// Sub-heaps below this size are built sequentially.
+const SEQ_THRESHOLD: usize = 8 * 1024;
+
+impl ParBinomialHeap<i64> {
+    /// `Multi-Insert` with measured Theorem 1-style cost: the batch is built
+    /// by the PRAM `Make-Queue` and melded by the PRAM Union; both costs
+    /// sum.
+    pub fn multi_insert_measured(&mut self, keys: &[i64], p: usize) -> pram::Cost {
+        if keys.is_empty() {
+            return pram::Cost::ZERO;
+        }
+        let (batch, build_cost) =
+            ParBinomialHeap::from_keys_pram(keys, p).expect("EREW-legal build");
+        let meld_cost = self.meld_measured(batch, p);
+        build_cost + meld_cost
+    }
+}
+
+impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
+    /// Build a heap from keys using all rayon workers: recursive
+    /// divide-and-conquer — both halves build concurrently (`rayon::join`)
+    /// and meld on the way up. The melds themselves are `O(log n)` but the
+    /// arena *absorption* copies the smaller side's nodes, so keeping the
+    /// reductions inside the parallel recursion (rather than a sequential
+    /// final pass) is what makes large builds scale.
+    pub fn from_keys_parallel(keys: &[K]) -> ParBinomialHeap<K> {
+        if keys.len() <= SEQ_THRESHOLD {
+            return ParBinomialHeap::from_keys(keys.iter().copied());
+        }
+        let mid = keys.len() / 2;
+        let (mut a, b) = rayon::join(
+            || Self::from_keys_parallel(&keys[..mid]),
+            || Self::from_keys_parallel(&keys[mid..]),
+        );
+        a.meld(b, Engine::Sequential);
+        a
+    }
+
+    /// Insert a batch of keys at once (parallel build + one meld) — the
+    /// shared-memory analogue of the hypercube queue's `Multi-Insert`.
+    pub fn multi_insert(&mut self, keys: &[K]) {
+        if keys.is_empty() {
+            return;
+        }
+        let batch = ParBinomialHeap::from_keys_parallel(keys);
+        self.meld(batch, Engine::Sequential);
+    }
+
+    /// Extract the `k` smallest keys (repeated `Extract-Min`) — the
+    /// shared-memory analogue of `Multi-Extract-Min`.
+    pub fn multi_extract_min(&mut self, k: usize, engine: Engine) -> Vec<K> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        for _ in 0..k {
+            match self.extract_min(engine) {
+                Some(x) => out.push(x),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_keys_carry_payloads() {
+        // (priority, payload) tuples order lexicographically — the idiomatic
+        // way to attach data to entries.
+        let mut h: ParBinomialHeap<(i32, u32)> = ParBinomialHeap::new();
+        h.insert((5, 100));
+        h.insert((1, 200));
+        h.insert((5, 50));
+        h.meld(ParBinomialHeap::from_keys([(0, 9), (3, 7)]), Engine::Rayon);
+        h.validate().unwrap();
+        assert_eq!(h.extract_min(Engine::Sequential), Some((0, 9)));
+        assert_eq!(h.extract_min(Engine::Rayon), Some((1, 200)));
+        assert_eq!(h.into_sorted_vec(), vec![(3, 7), (5, 50), (5, 100)]);
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential_content() {
+        let keys: Vec<i64> = (0..100_000)
+            .map(|i| (i * 2654435761u64 as i64) % 99991)
+            .collect();
+        let par = ParBinomialHeap::from_keys_parallel(&keys);
+        par.validate().unwrap();
+        assert_eq!(par.len(), keys.len());
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(par.into_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn parallel_build_small_input() {
+        let par = ParBinomialHeap::from_keys_parallel(&[3, 1, 2]);
+        assert_eq!(par.into_sorted_vec(), vec![1, 2, 3]);
+        let empty = ParBinomialHeap::<i64>::from_keys_parallel(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn measured_multi_insert() {
+        let mut h = ParBinomialHeap::from_keys([100, 200, 300]);
+        let c = h.multi_insert_measured(&[5, 1, 4, 1, 5], 3);
+        assert!(c.time > 0 && c.work >= c.time);
+        h.validate().unwrap();
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.multi_insert_measured(&[], 3), pram::Cost::ZERO);
+    }
+
+    #[test]
+    fn multi_insert_and_extract() {
+        let mut h = ParBinomialHeap::from_keys([50, 60, 70]);
+        h.multi_insert(&[10, 20, 30, 40]);
+        h.validate().unwrap();
+        assert_eq!(h.len(), 7);
+        assert_eq!(
+            h.multi_extract_min(4, Engine::Sequential),
+            vec![10, 20, 30, 40]
+        );
+        assert_eq!(h.len(), 3);
+        // Asking for more than available drains and stops.
+        assert_eq!(h.multi_extract_min(10, Engine::Rayon), vec![50, 60, 70]);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The rayon engine: real-thread execution of Phases I–III.
+//!
+//! Produces bit-identical [`UnionPlan`]s to the sequential oracle; the
+//! parallel structure mirrors the PRAM algorithm (maps + prefix scans + an
+//! independent per-position link round). Note the honesty caveat from
+//! DESIGN.md §5: a single union only has `O(log n)` positions, so rayon's
+//! scan falls back to its sequential path below its chunk threshold — the
+//! engine exists to execute *bulk* workloads (many unions, multi-inserts)
+//! with real parallelism, and to demonstrate the algorithm's data-parallel
+//! shape on real threads.
+
+use rayon::prelude::*;
+
+use crate::plan::{
+    classify_point, link_decision, new_root_decision, position_winner, seg_combine, PointType,
+    RootRef, UnionPlan,
+};
+
+/// Build the union plan with rayon primitives.
+pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
+    h1: &[Option<RootRef<K>>],
+    h2: &[Option<RootRef<K>>],
+) -> UnionPlan<K> {
+    let width = h1.len().max(h2.len());
+    let at = |v: &[Option<RootRef<K>>], i: usize| v.get(i).copied().flatten();
+
+    // Phase I: presence bits, g/p, carry scan, classification.
+    let (a, b): (Vec<bool>, Vec<bool>) = (0..width)
+        .into_par_iter()
+        .map(|i| (at(h1, i).is_some(), at(h2, i).is_some()))
+        .unzip();
+    let (g, p): (Vec<bool>, Vec<bool>) = (0..width)
+        .into_par_iter()
+        .map(|i| (a[i] && b[i], a[i] ^ b[i]))
+        .unzip();
+    let statuses: Vec<parscan::CarryStatus> = (0..width)
+        .into_par_iter()
+        .map(|i| parscan::carry_status(a[i], b[i]))
+        .collect();
+    let c: Vec<bool> = parscan::par::scan_inclusive(
+        &statuses,
+        parscan::CarryStatus::Propagate,
+        parscan::compose_status,
+    )
+    .into_par_iter()
+    .map(|s| s == parscan::CarryStatus::Generate)
+    .collect();
+    let s: Vec<bool> = (0..width)
+        .into_par_iter()
+        .map(|i| p[i] ^ (i > 0 && c[i - 1]))
+        .collect();
+    let class: Vec<PointType> = (0..width)
+        .into_par_iter()
+        .map(|i| classify_point(g[i], p[i], i > 0 && c[i - 1], i + 1 < width && p[i + 1]))
+        .collect();
+    let i_lim: Vec<bool> = (0..width)
+        .into_par_iter()
+        .map(|i| !(p[i] && i > 0 && c[i - 1]))
+        .collect();
+
+    // Phase II: segmented prefix minima over (I_lim, I_valueB).
+    let i_value_b: Vec<Option<RootRef<K>>> = (0..width)
+        .into_par_iter()
+        .map(|i| position_winner(at(h1, i), at(h2, i)))
+        .collect();
+    let pairs: Vec<(bool, Option<RootRef<K>>)> = i_lim
+        .par_iter()
+        .copied()
+        .zip(i_value_b.par_iter().copied())
+        .collect();
+    let i_value_a: Vec<Option<RootRef<K>>> =
+        parscan::par::scan_inclusive(&pairs, (false, None), seg_combine)
+            .into_par_iter()
+            .map(|p| p.1)
+            .collect();
+
+    // Phase III: independent per-position decisions.
+    let links: Vec<_> = (0..width)
+        .into_par_iter()
+        .filter_map(|i| {
+            link_decision(
+                class[i],
+                g[i],
+                at(h1, i),
+                at(h2, i),
+                i_value_b[i],
+                i_value_a[i],
+                if i > 0 { i_value_a[i - 1] } else { None },
+                i,
+            )
+        })
+        .collect();
+    let mut new_roots = vec![None; width];
+    let assignments: Vec<(usize, crate::arena::NodeId)> = (0..width)
+        .into_par_iter()
+        .filter_map(|i| {
+            new_root_decision(
+                i,
+                class[i],
+                g[i],
+                p[i],
+                i > 0 && c[i - 1],
+                i + 1 < width && p[i + 1],
+                i_value_a[i],
+            )
+        })
+        .collect();
+    for (slot, id) in assignments {
+        debug_assert!(new_roots[slot].is_none());
+        new_roots[slot] = Some(id);
+    }
+
+    UnionPlan {
+        width,
+        a,
+        b,
+        g,
+        p,
+        c,
+        s,
+        class,
+        i_lim,
+        i_value_b,
+        i_value_a,
+        links,
+        new_roots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::NodeId;
+    use crate::plan::build_plan_seq;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_side(rng: &mut StdRng, n: usize, width: usize, id_base: u32) -> Vec<Option<RootRef>> {
+        (0..width)
+            .map(|i| {
+                (n >> i & 1 == 1).then(|| RootRef {
+                    key: rng.gen_range(-1000..1000),
+                    id: NodeId(id_base + i as u32),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rayon_plan_equals_sequential_plan() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let n1 = rng.gen_range(0usize..100_000);
+            let n2 = rng.gen_range(0usize..100_000);
+            let width = crate::plan::plan_width(n1, n2);
+            let h1 = random_side(&mut rng, n1, width, 0);
+            let h2 = random_side(&mut rng, n2, width, 1_000);
+            let seq = build_plan_seq(&h1, &h2);
+            let par = build_plan_rayon(&h1, &h2);
+            assert_eq!(seq, par, "n1={n1} n2={n2}");
+            seq.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_ones_worst_case_chain() {
+        // n1 = n2 = 2^k - 1: every position generates, maximal chains.
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = (1usize << 12) - 1;
+        let width = crate::plan::plan_width(n, n);
+        let h1 = random_side(&mut rng, n, width, 0);
+        let h2 = random_side(&mut rng, n, width, 500);
+        let seq = build_plan_seq(&h1, &h2);
+        let par = build_plan_rayon(&h1, &h2);
+        assert_eq!(seq, par);
+        // 12 generate positions -> 12 links, result = one B_13... precisely:
+        // n+n = 2^13 - 2 = 0b1111111111110.
+        let expected_roots = (0..width).filter(|i| (2 * n) >> i & 1 == 1).count();
+        assert_eq!(seq.new_roots.iter().flatten().count(), expected_roots);
+    }
+}

@@ -1,0 +1,47 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # meldpq — the paper's contribution
+//!
+//! Parallel meldable priority queues based on binomial heaps, after
+//! Crupi, Das & Pinotti (ICPP 1996):
+//!
+//! * [`heap::ParBinomialHeap`] — the §3 structure with `Union` by carry
+//!   chains + segmented prefix minima + one parallel link round, runnable on
+//!   the sequential oracle, rayon threads ([`heap::Engine`]) or the PRAM
+//!   simulator ([`engine_pram`], which returns measured [`pram::Cost`]).
+//! * [`lazy::LazyBinomialHeap`] — the §4 structure with `Delete` /
+//!   `Change-Key` via persistent empty nodes (`Take-Up`) and periodic
+//!   `Arrange-Heap` rebuilds.
+//!
+//! See DESIGN.md at the workspace root for the experiment map.
+//!
+//! ```
+//! use meldpq::{Engine, ParBinomialHeap};
+//!
+//! let mut a = ParBinomialHeap::from_keys([5, 1, 9]);
+//! let b = ParBinomialHeap::from_keys([2, 8]);
+//! a.meld(b, Engine::Rayon);
+//! assert_eq!(a.extract_min(Engine::Rayon), Some(1));
+//!
+//! // The same Union measured on the EREW PRAM simulator (Theorem 1):
+//! let h1 = ParBinomialHeap::from_keys(0..31);
+//! let h2 = ParBinomialHeap::from_keys(100..131);
+//! let w = meldpq::plan::plan_width(h1.len(), h2.len());
+//! let out = meldpq::engine_pram::build_plan_pram(
+//!     &h1.root_refs(w), &h2.root_refs(w), 2).unwrap();
+//! assert!(out.cost.time > 0 && out.cost.work >= out.cost.time);
+//! ```
+
+pub mod arena;
+pub mod build;
+pub mod bulk;
+pub mod engine_pram;
+pub mod engine_rayon;
+pub mod heap;
+pub mod lazy;
+pub mod plan;
+pub mod viz;
+
+pub use arena::{Arena, Node, NodeId};
+pub use heap::{Engine, ParBinomialHeap};
+pub use plan::{LinkOp, PointType, RootRef, UnionPlan};

@@ -1,0 +1,126 @@
+//! Property-based tests of the §4 lazy heap: random mixes of every
+//! operation against a multiset oracle, with invariant validation after
+//! each step.
+
+use meldpq::lazy::LazyBinomialHeap;
+use meldpq::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    ExtractMin,
+    /// Delete the i-th tracked handle (mod live handles).
+    Delete(usize),
+    /// Change-Key on the i-th tracked handle to a new value.
+    ChangeKey(usize, i64),
+    /// Meld in a small fresh heap.
+    Meld(Vec<i64>),
+    Min,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (-100_000i64..100_000).prop_map(Op::Insert),
+        3 => Just(Op::ExtractMin),
+        2 => any::<usize>().prop_map(Op::Delete),
+        2 => (any::<usize>(), -100_000i64..100_000).prop_map(|(i, k)| Op::ChangeKey(i, k)),
+        1 => proptest::collection::vec(-100_000i64..100_000, 0..8).prop_map(Op::Meld),
+        1 => Just(Op::Min),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_heap_full_mix_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        p in 1usize..5,
+    ) {
+        let mut heap = LazyBinomialHeap::new(p);
+        let mut oracle: Vec<i64> = Vec::new();
+        // Handles become stale at Arrange-Heap; track (id, key) and verify
+        // freshness before use.
+        let mut handles: Vec<(NodeId, i64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    handles.push((heap.insert(k), k));
+                    oracle.push(k);
+                }
+                Op::ExtractMin => {
+                    let got = heap.extract_min();
+                    let want = oracle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, k)| **k)
+                        .map(|(i, _)| i);
+                    match want {
+                        None => prop_assert_eq!(got, None),
+                        Some(i) => prop_assert_eq!(got, Some(oracle.swap_remove(i))),
+                    }
+                }
+                Op::Delete(i) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let idx = i % handles.len();
+                    let (id, k) = handles.swap_remove(idx);
+                    if heap.key_of(id) == Some(k) {
+                        prop_assert_eq!(heap.delete(id), k);
+                        let pos = oracle.iter().position(|&e| e == k).expect("tracked");
+                        oracle.swap_remove(pos);
+                    }
+                }
+                Op::ChangeKey(i, nk) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let idx = i % handles.len();
+                    let (id, k) = handles.swap_remove(idx);
+                    if heap.key_of(id) == Some(k) {
+                        let new_id = heap.change_key(id, nk);
+                        handles.push((new_id, nk));
+                        let pos = oracle.iter().position(|&e| e == k).expect("tracked");
+                        oracle.swap_remove(pos);
+                        oracle.push(nk);
+                    }
+                }
+                Op::Meld(keys) => {
+                    let mut other = LazyBinomialHeap::new(p);
+                    for &k in &keys {
+                        other.insert(k);
+                        oracle.push(k);
+                    }
+                    // Meld invalidates other's handles; ours survive unless
+                    // an arrange fires inside meld — key_of checks handle it.
+                    heap.meld(other);
+                }
+                Op::Min => {
+                    prop_assert_eq!(heap.min(), oracle.iter().min().copied());
+                }
+            }
+            prop_assert_eq!(heap.len(), oracle.len());
+            heap.validate().expect("lazy invariants");
+        }
+        let mut expected = oracle;
+        expected.sort_unstable();
+        prop_assert_eq!(heap.into_sorted_vec(), expected);
+    }
+
+    /// Every operation appends nonnegative, plausible costs to the ledger.
+    #[test]
+    fn cost_ledger_is_monotone(keys in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let mut heap = LazyBinomialHeap::new(2);
+        let mut last_total = pram::Cost::ZERO;
+        for &k in &keys {
+            heap.insert(k);
+            let t = heap.total_cost();
+            prop_assert!(t.time >= last_total.time);
+            prop_assert!(t.work >= t.time, "work >= time always (p >= 1)");
+            last_total = t;
+        }
+    }
+}

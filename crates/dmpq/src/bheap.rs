@@ -1,0 +1,265 @@
+//! The b-bandwidth binomial heap (paper Definition 5), host-side structure.
+//!
+//! Every node carries exactly `b` keys in non-decreasing order; the heap
+//! order extends bandwidth-wise: *each* key of a node is no smaller than
+//! *each* key of its parent (`child.min() ≥ parent.max()`). Structurally the
+//! trees are ordinary binomial trees over b-nodes, so a heap of `N = n·b`
+//! items is a collection of at most one tree per order, orders = set bits of
+//! `n`.
+//!
+//! This module is the *logical* structure; all distributed manipulation
+//! (with communication metering) lives in [`crate::queue`].
+
+/// Handle to a b-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BbNodeId(pub u32);
+
+/// A b-bandwidth binomial tree node.
+#[derive(Debug, Clone)]
+pub struct BbNode {
+    /// `b` keys, sorted ascending.
+    pub keys: Vec<i64>,
+    /// Parent pointer.
+    pub parent: Option<BbNodeId>,
+    /// Child array: slot `i` = root of the order-`i` child subtree.
+    pub children: Vec<BbNodeId>,
+}
+
+impl BbNode {
+    /// Smallest key in the node.
+    pub fn min_key(&self) -> i64 {
+        self.keys[0]
+    }
+
+    /// Largest key in the node (the sort key of the preprocessing phase).
+    pub fn max_key(&self) -> i64 {
+        *self.keys.last().expect("b >= 1")
+    }
+}
+
+/// A collection of b-bandwidth binomial trees with arena storage.
+#[derive(Debug, Clone)]
+pub struct BbHeap {
+    /// Bandwidth.
+    pub b: usize,
+    nodes: Vec<Option<BbNode>>,
+    free: Vec<u32>,
+    /// Root array: slot `i` = root of `B_i`.
+    pub roots: Vec<Option<BbNodeId>>,
+}
+
+impl BbHeap {
+    /// An empty heap of bandwidth `b`.
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 1);
+        BbHeap {
+            b,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Number of b-nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Number of items (`node_count × b`).
+    pub fn item_count(&self) -> usize {
+        self.node_count() * self.b
+    }
+
+    /// Allocate a node from a sorted key chunk.
+    pub fn alloc(&mut self, mut keys: Vec<i64>) -> BbNodeId {
+        assert_eq!(keys.len(), self.b, "a b-node holds exactly b keys");
+        keys.sort_unstable();
+        let node = BbNode {
+            keys,
+            parent: None,
+            children: Vec::new(),
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Some(node);
+                BbNodeId(i)
+            }
+            None => {
+                self.nodes.push(Some(node));
+                BbNodeId((self.nodes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Free a node, returning it.
+    pub fn dealloc(&mut self, id: BbNodeId) -> BbNode {
+        let n = self.nodes[id.0 as usize].take().expect("dead b-node");
+        self.free.push(id.0);
+        n
+    }
+
+    /// Borrow a node.
+    pub fn get(&self, id: BbNodeId) -> &BbNode {
+        self.nodes[id.0 as usize].as_ref().expect("dead b-node")
+    }
+
+    /// Borrow a node mutably.
+    pub fn get_mut(&mut self, id: BbNodeId) -> &mut BbNode {
+        self.nodes[id.0 as usize].as_mut().expect("dead b-node")
+    }
+
+    /// Whether `id` is live.
+    pub fn contains(&self, id: BbNodeId) -> bool {
+        self.nodes.get(id.0 as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// Degree (= order of the subtree rooted) of a node.
+    pub fn degree(&self, id: BbNodeId) -> usize {
+        self.get(id).children.len()
+    }
+
+    /// Orders of the present root trees.
+    pub fn root_orders(&self) -> Vec<usize> {
+        self.roots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|_| i))
+            .collect()
+    }
+
+    /// Drop trailing empty root slots.
+    pub fn trim(&mut self) {
+        while matches!(self.roots.last(), Some(None)) {
+            self.roots.pop();
+        }
+    }
+
+    /// All keys in the heap (unsorted).
+    pub fn all_keys(&self) -> Vec<i64> {
+        self.nodes
+            .iter()
+            .flatten()
+            .flat_map(|n| n.keys.iter().copied())
+            .collect()
+    }
+
+    /// Validate: tree shapes, key-array sortedness/width, the extended heap
+    /// order (`child.min ≥ parent.max`), parent pointers, node accounting.
+    pub fn validate(&self) -> Result<(), String> {
+        fn walk(h: &BbHeap, id: BbNodeId, order: usize) -> Result<usize, String> {
+            let n = h.get(id);
+            if n.keys.len() != h.b {
+                return Err(format!(
+                    "node holds {} keys, bandwidth {}",
+                    n.keys.len(),
+                    h.b
+                ));
+            }
+            if n.keys.windows(2).any(|w| w[0] > w[1]) {
+                return Err("node keys not sorted".into());
+            }
+            if n.children.len() != order {
+                return Err(format!("degree {} at slot {order}", n.children.len()));
+            }
+            let mut count = 1;
+            for (i, &c) in n.children.iter().enumerate() {
+                let cn = h.get(c);
+                if cn.parent != Some(id) {
+                    return Err("parent pointer mismatch".into());
+                }
+                if cn.min_key() < n.max_key() {
+                    return Err(format!(
+                        "extended heap order violated: child min {} < parent max {}",
+                        cn.min_key(),
+                        n.max_key()
+                    ));
+                }
+                count += walk(h, c, i)?;
+            }
+            Ok(count)
+        }
+        let mut total = 0;
+        for (i, r) in self.roots.iter().enumerate() {
+            if let Some(id) = r {
+                if self.get(*id).parent.is_some() {
+                    return Err("root with parent pointer".into());
+                }
+                total += walk(self, *id, i)?;
+            }
+        }
+        if total != self.node_count() {
+            return Err(format!(
+                "arena holds {} nodes, trees hold {total}",
+                self.node_count()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Check the *chunk order* invariant the b-Union preprocessing restores:
+    /// listing roots by ascending max key, their key ranges must not overlap
+    /// (`max(chunk_j) ≤ min(chunk_{j+1})`).
+    pub fn validate_chunk_order(&self) -> Result<(), String> {
+        let mut roots: Vec<&BbNode> = self.roots.iter().flatten().map(|&r| self.get(r)).collect();
+        roots.sort_by_key(|n| n.max_key());
+        for w in roots.windows(2) {
+            if w[0].max_key() > w[1].min_key() {
+                return Err(format!(
+                    "root chunks overlap: {} > {}",
+                    w[0].max_key(),
+                    w[1].min_key()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_sorts_keys() {
+        let mut h = BbHeap::new(4);
+        let id = h.alloc(vec![9, 1, 5, 3]);
+        assert_eq!(h.get(id).keys, vec![1, 3, 5, 9]);
+        assert_eq!(h.get(id).min_key(), 1);
+        assert_eq!(h.get(id).max_key(), 9);
+    }
+
+    #[test]
+    fn validate_catches_extended_order_violation() {
+        let mut h = BbHeap::new(2);
+        let parent = h.alloc(vec![5, 10]);
+        let child = h.alloc(vec![7, 20]); // child.min 7 < parent.max 10
+        h.get_mut(parent).children.push(child);
+        h.get_mut(child).parent = Some(parent);
+        h.roots = vec![None, Some(parent)];
+        assert!(h.validate().unwrap_err().contains("extended heap order"));
+    }
+
+    #[test]
+    fn validate_accepts_proper_tree() {
+        let mut h = BbHeap::new(2);
+        let parent = h.alloc(vec![1, 2]);
+        let child = h.alloc(vec![2, 9]);
+        h.get_mut(parent).children.push(child);
+        h.get_mut(child).parent = Some(parent);
+        h.roots = vec![None, Some(parent)];
+        h.validate().unwrap();
+        assert_eq!(h.item_count(), 4);
+        assert_eq!(h.root_orders(), vec![1]);
+    }
+
+    #[test]
+    fn chunk_order_check() {
+        let mut h = BbHeap::new(2);
+        let a = h.alloc(vec![1, 2]);
+        let b = h.alloc(vec![3, 4]);
+        h.roots = vec![Some(a), Some(b)];
+        h.validate_chunk_order().unwrap();
+        h.get_mut(b).keys = vec![0, 4];
+        assert!(h.validate_chunk_order().is_err());
+    }
+}

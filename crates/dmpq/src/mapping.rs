@@ -1,0 +1,189 @@
+//! The degree mapping (paper Definition 4) and its Properties 1–3.
+//!
+//! A node of degree `i` is assigned to processor `Π(i mod 2^q)`, `Π` the
+//! Gray-code Hamiltonian path. Consequences verified in the tests below:
+//!
+//! * **Property 1** — the roots of `2^q` consecutive tree orders occupy the
+//!   processors along the Hamiltonian path;
+//! * **Property 2** — a node and its children in decreasing degree order are
+//!   embedded along the path;
+//! * **Property 3** — a linking only changes the *winning* root's degree by
+//!   one, so preserving the mapping moves one record between *adjacent*
+//!   processors (`Π(i)` and `Π(i+1)` are neighbours).
+//!
+//! Figure 4 (27-node heap on `Q_2`) is regenerated in
+//! `figure4_mapping_matches_paper`.
+
+use hypercube::gray::gray;
+
+use crate::bheap::{BbHeap, BbNodeId};
+
+/// Which degree→processor mapping the queue uses. The paper's Definition 4
+/// is [`MappingKind::Gray`]; [`MappingKind::Identity`] drops the Gray code
+/// (degree `i` → node `i mod 2^q` directly) and exists for ablation A3: it
+/// breaks Property 3 (a degree promotion may cross up to `q` links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// `Π(i mod 2^q)` along the Gray-code Hamiltonian path (the paper).
+    Gray,
+    /// `i mod 2^q` with no Gray code (ablation baseline).
+    Identity,
+}
+
+/// Processor hosting a node of degree `deg` on a `q`-cube (paper mapping).
+pub fn processor_of_degree(deg: usize, q: usize) -> usize {
+    gray(deg % (1 << q))
+}
+
+/// Processor hosting a node of degree `deg` under a chosen mapping.
+pub fn processor_for(kind: MappingKind, deg: usize, q: usize) -> usize {
+    match kind {
+        MappingKind::Gray => gray(deg % (1 << q)),
+        MappingKind::Identity => deg % (1 << q),
+    }
+}
+
+/// Per-node processor assignment of a whole heap: `(node, degree, processor)`
+/// triples in BFS order per tree. This regenerates Figure 4-style listings.
+pub fn assignment(heap: &BbHeap, q: usize) -> Vec<(BbNodeId, usize, usize)> {
+    let mut out = Vec::new();
+    let mut queue: std::collections::VecDeque<BbNodeId> =
+        heap.roots.iter().flatten().copied().collect();
+    while let Some(id) = queue.pop_front() {
+        let deg = heap.degree(id);
+        out.push((id, deg, processor_of_degree(deg, q)));
+        for &c in heap.get(id).children.iter().rev() {
+            queue.push_back(c);
+        }
+    }
+    out
+}
+
+/// Memory load (number of resident nodes) per processor — the imbalance the
+/// paper notes (`2^{k-j-1}` nodes of degree `j` all land on one processor).
+pub fn load_per_processor(heap: &BbHeap, q: usize) -> Vec<usize> {
+    let mut load = vec![0usize; 1 << q];
+    for (_, _, proc_id) in assignment(heap, q) {
+        load[proc_id] += 1;
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::gray::is_adjacent;
+
+    /// Build a complete binomial tree of the given order in a b=1 heap.
+    fn build_tree(h: &mut BbHeap, order: usize, key_seed: &mut i64) -> BbNodeId {
+        // Recursive B_k = two B_{k-1} linked.
+        if order == 0 {
+            let id = h.alloc(vec![*key_seed]);
+            *key_seed += 1;
+            return id;
+        }
+        let a = build_tree(h, order - 1, key_seed);
+        let b = build_tree(h, order - 1, key_seed);
+        // Make `a` the parent regardless of keys (mapping tests don't need
+        // heap order).
+        h.get_mut(a).children.push(b);
+        h.get_mut(b).parent = Some(a);
+        a
+    }
+
+    fn heap_of_size(n: usize) -> BbHeap {
+        let mut h = BbHeap::new(1);
+        let mut seed = 0i64;
+        let mut roots = Vec::new();
+        for i in 0..usize::BITS as usize {
+            if n >> i & 1 == 1 {
+                while roots.len() <= i {
+                    roots.push(None);
+                }
+                roots[i] = Some(build_tree(&mut h, i, &mut seed));
+            }
+        }
+        h.roots = roots;
+        h
+    }
+
+    #[test]
+    fn figure4_mapping_matches_paper() {
+        // 27 = B_4 + B_3 + B_1 + B_0 on Q_2; Π = [0, 1, 3, 2].
+        let h = heap_of_size(27);
+        assert_eq!(h.root_orders(), vec![0, 1, 3, 4]);
+        let q = 2;
+        // Root processors: degree mod 4 → Π.
+        assert_eq!(processor_of_degree(0, q), 0);
+        assert_eq!(processor_of_degree(1, q), 1);
+        assert_eq!(processor_of_degree(2, q), 3);
+        assert_eq!(processor_of_degree(3, q), 2);
+        assert_eq!(processor_of_degree(4, q), 0); // wraps: B_4 root on Π(0)
+                                                  // Every node of the heap gets the processor of its degree.
+        for (id, deg, proc_id) in assignment(&h, q) {
+            assert_eq!(h.degree(id), deg);
+            assert_eq!(proc_id, processor_of_degree(deg, q));
+        }
+    }
+
+    #[test]
+    fn property1_consecutive_orders_lie_on_the_path() {
+        // Roots of orders i..i+2^q-1 occupy Π(i mod 2^q), ..., consecutive
+        // path positions — i.e. each consecutive pair is physically adjacent.
+        for q in 1..=4usize {
+            for i in 0..16usize {
+                let procs: Vec<usize> = (i..i + (1 << q))
+                    .map(|d| processor_of_degree(d, q))
+                    .collect();
+                for w in procs.windows(2) {
+                    assert!(is_adjacent(w[0], w[1]), "q={q} i={i}");
+                }
+                // And they are all distinct (a full traversal of the cube).
+                let mut sorted = procs.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 1 << q);
+            }
+        }
+    }
+
+    #[test]
+    fn property2_children_descend_along_the_path() {
+        // A node of degree i < 2^q and its children (degrees i-1, …, 0) sit
+        // on Π(i), Π(i-1), …, Π(0): each hop is one path edge.
+        let q = 3usize;
+        for i in 1..(1usize << q) {
+            let me = processor_of_degree(i, q);
+            let child = processor_of_degree(i - 1, q);
+            assert!(is_adjacent(me, child));
+        }
+    }
+
+    #[test]
+    fn property3_linking_moves_one_record_one_hop() {
+        // Linking two B_i trees promotes one root to degree i+1: its new
+        // processor is the path successor — a direct neighbour.
+        for q in 1..=5usize {
+            for i in 0..40usize {
+                let from = processor_of_degree(i, q);
+                let to = processor_of_degree(i + 1, q);
+                assert!(is_adjacent(from, to), "q={q} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_imbalance_matches_paper_formula() {
+        // In a heap of size 2^k - 1 there are 2^{k-j-1} nodes of degree j.
+        let k = 6usize;
+        let h = heap_of_size((1 << k) - 1);
+        let q = 2usize;
+        let load = load_per_processor(&h, q);
+        let mut expected = vec![0usize; 1 << q];
+        for j in 0..k {
+            expected[processor_of_degree(j, q)] += 1 << (k - j - 1);
+        }
+        assert_eq!(load, expected);
+        assert_eq!(load.iter().sum::<usize>(), (1 << k) - 1);
+    }
+}

@@ -1,0 +1,872 @@
+//! The distributed meldable priority queue (paper Definition 6) and the
+//! `b-Union` operation (Theorem 3).
+//!
+//! Communication model: the logical b-binomial heap lives host-side (for
+//! validation), but every data movement the distributed algorithm performs
+//! is executed on the [`hypercube::NetSim`]:
+//!
+//! * **preprocessing** — all root keys are routed to bitonic blocks, sorted
+//!   on the cube, and the sorted chunks routed back to the roots (ordered by
+//!   old max key), re-establishing the extended heap order and the global
+//!   *chunk order* of roots;
+//! * **Phases I–II** — the carry scan and the segmented prefix minima run as
+//!   Hamiltonian prefixes over the cyclically mapped positions
+//!   (`H[i]` on `Π(i mod 2^q)`); results are asserted equal to the
+//!   host-built [`meldpq::UnionPlan`];
+//! * **Phase III** — child-address packets travel to their dominant roots
+//!   and every root whose degree changed is routed (keys + child table) to
+//!   its new home processor `Π(new degree mod 2^q)`.
+//!
+//! `Insert`/`Extract-Min` are buffered through `Waiting`/`Forehead` on the
+//! I/O processor and trigger `Multi-Insert`/`Multi-Extract-Min` every `b`
+//! operations — the amortization measured in experiment T3.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use hypercube::engine::{NetSim, NetStats, Word};
+use hypercube::prefix::hamiltonian_prefix_cyclic;
+use hypercube::routing::{route, Packet};
+use hypercube::sort::bitonic_sort;
+use meldpq::plan::{build_plan_seq, plan_width, RootRef, UnionPlan};
+use meldpq::NodeId;
+
+use crate::bheap::{BbHeap, BbNodeId};
+use crate::mapping::{processor_for, MappingKind};
+
+/// Difference of two cumulative [`NetStats`] snapshots.
+pub fn stats_delta(after: NetStats, before: NetStats) -> NetStats {
+    NetStats {
+        time: after.time - before.time,
+        rounds: after.rounds - before.rounds,
+        messages: after.messages - before.messages,
+        word_hops: after.word_hops - before.word_hops,
+    }
+}
+
+/// Which queue operation a ledger entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DOp {
+    /// A `Multi-Insert` flush of the `Waiting` buffer.
+    MultiInsert,
+    /// A `Multi-Extract-Min` refill of the `Forehead` buffer.
+    MultiExtractMin,
+    /// An explicit `b-Union` (meld of two queues).
+    Union,
+}
+
+/// The distributed meldable priority queue.
+#[derive(Debug)]
+pub struct DistributedPq {
+    net: NetSim,
+    heap: BbHeap,
+    /// Bandwidth `b`.
+    pub b: usize,
+    /// Sorted ascending; holds extracted-but-unconsumed items (I/O proc).
+    forehead: VecDeque<i64>,
+    /// Binary min-heap of inserted-but-unflushed items (I/O proc).
+    waiting: BinaryHeap<Reverse<i64>>,
+    /// The designated I/O processor.
+    pub io_proc: usize,
+    /// Communication ledger per multi-operation.
+    ledger: Vec<(DOp, NetStats)>,
+    /// Local (I/O-processor) binary-heap operations performed, for the
+    /// `O(log b)` part of the amortized per-op cost.
+    local_heap_ops: u64,
+    /// Degree→processor mapping (Gray per the paper; Identity for A3).
+    mapping: MappingKind,
+}
+
+impl DistributedPq {
+    /// A queue on a `q`-cube with bandwidth `b` (paper's Gray mapping).
+    pub fn new(q: usize, b: usize) -> Self {
+        Self::with_mapping(q, b, MappingKind::Gray)
+    }
+
+    /// A queue with an explicit degree→processor mapping (ablation A3 uses
+    /// [`MappingKind::Identity`]).
+    pub fn with_mapping(q: usize, b: usize, mapping: MappingKind) -> Self {
+        DistributedPq {
+            net: NetSim::new(q),
+            heap: BbHeap::new(b),
+            b,
+            forehead: VecDeque::new(),
+            waiting: BinaryHeap::new(),
+            io_proc: 0,
+            ledger: Vec::new(),
+            local_heap_ops: 0,
+            mapping,
+        }
+    }
+
+    fn proc_of(&self, deg: usize) -> usize {
+        processor_for(self.mapping, deg, self.net.q())
+    }
+
+    /// Items currently stored (heap + buffers).
+    pub fn len(&self) -> usize {
+        self.heap.item_count() + self.forehead.len() + self.waiting.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Per-link word loads (congestion profile; see
+    /// [`hypercube::NetSim::link_loads`]).
+    pub fn link_loads(&self) -> Vec<((usize, usize), u64)> {
+        self.net.link_loads()
+    }
+
+    /// The hottest link's total words.
+    pub fn max_link_load(&self) -> u64 {
+        self.net.max_link_load()
+    }
+
+    /// The per-multi-operation communication ledger.
+    pub fn ledger(&self) -> &[(DOp, NetStats)] {
+        &self.ledger
+    }
+
+    /// Local I/O-processor heap operations performed so far.
+    pub fn local_heap_ops(&self) -> u64 {
+        self.local_heap_ops
+    }
+
+    /// Borrow the logical heap (tests/validation).
+    pub fn heap(&self) -> &BbHeap {
+        &self.heap
+    }
+
+    /// `Insert(Q, x)`: buffer in `Waiting`; flush `b` at a time.
+    pub fn insert(&mut self, key: i64) {
+        assert!(key < i64::MAX, "i64::MAX is the pad sentinel");
+        self.waiting.push(Reverse(key));
+        self.local_heap_ops += (self.waiting.len().max(2)).ilog2() as u64;
+        if self.waiting.len() >= self.b {
+            self.flush_waiting();
+        }
+    }
+
+    /// `Min(Q)`: smallest item currently stored (no mutation).
+    pub fn min(&self) -> Option<i64> {
+        let mut best: Option<i64> = None;
+        let mut upd = |v: i64| best = Some(best.map_or(v, |b: i64| b.min(v)));
+        if let Some(&f) = self.forehead.front() {
+            upd(f);
+        }
+        if let Some(&Reverse(w)) = self.waiting.peek() {
+            upd(w);
+        }
+        // Items in H only matter when Forehead is empty (invariant:
+        // H ≥ max(Forehead) whenever Forehead is nonempty).
+        if self.forehead.is_empty() {
+            if let Some(h_min) = self.heap_min() {
+                upd(h_min);
+            }
+        }
+        best
+    }
+
+    fn heap_min(&self) -> Option<i64> {
+        self.heap
+            .roots
+            .iter()
+            .flatten()
+            .map(|&r| self.heap.get(r).min_key())
+            .min()
+    }
+
+    /// `Extract-Min(Q)`.
+    pub fn extract_min(&mut self) -> Option<i64> {
+        if self.forehead.is_empty() && self.heap.node_count() > 0 {
+            self.multi_extract_min();
+        }
+        let from_forehead = self.forehead.front().copied();
+        let from_waiting = self.waiting.peek().map(|Reverse(w)| *w);
+        match (from_forehead, from_waiting) {
+            (None, None) => None,
+            (Some(f), None) => {
+                self.forehead.pop_front();
+                Some(f)
+            }
+            (None, Some(_)) => {
+                self.local_heap_ops += (self.waiting.len().max(2)).ilog2() as u64;
+                self.waiting.pop().map(|Reverse(w)| w)
+            }
+            (Some(f), Some(w)) => {
+                if w < f {
+                    self.local_heap_ops += (self.waiting.len().max(2)).ilog2() as u64;
+                    self.waiting.pop();
+                    Some(w)
+                } else {
+                    self.forehead.pop_front();
+                    Some(f)
+                }
+            }
+        }
+    }
+
+    /// Drain everything in ascending order (consumes the queue).
+    pub fn into_sorted_vec(mut self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(k) = self.extract_min() {
+            out.push(k);
+        }
+        out
+    }
+
+    /// `Multi-Insert(H, K[1..b])` (paper Definition 5, operation 2): insert
+    /// exactly `b` items directly into the b-binomial heap as a fresh `B_0`
+    /// node, bypassing the buffers. Returns the communication delta.
+    pub fn multi_insert(&mut self, keys: Vec<i64>) -> NetStats {
+        assert_eq!(keys.len(), self.b, "Multi-Insert takes exactly b items");
+        let before = self.net.stats();
+        let dst = self.proc_of(0);
+        if dst != self.io_proc {
+            route(
+                &mut self.net,
+                vec![Packet {
+                    src: self.io_proc,
+                    dst,
+                    payload: keys.iter().map(|&k| k as Word).collect(),
+                }],
+            )
+            .expect("legal route");
+        }
+        let id = self.heap.alloc(keys);
+        let single = vec![Some(id)];
+        let old = std::mem::take(&mut self.heap.roots);
+        self.heap.roots = self.b_union(&old, &single);
+        let delta = stats_delta(self.net.stats(), before);
+        self.ledger.push((DOp::MultiInsert, delta));
+        delta
+    }
+
+    /// `Multi-Extract-Min(H)` (paper Definition 5, operation 3): remove and
+    /// return the `b` smallest items of the b-binomial heap directly,
+    /// bypassing the buffers. Returns `None` when `H` is empty.
+    pub fn multi_extract_min_direct(&mut self) -> Option<Vec<i64>> {
+        if self.heap.node_count() == 0 {
+            return None;
+        }
+        // Any buffered Forehead items were extracted earlier and are owed to
+        // the caller first; the direct operation is only legal on an empty
+        // Forehead (the paper invokes it exactly then).
+        assert!(
+            self.forehead.is_empty(),
+            "Multi-Extract-Min fires only when Forehead is drained"
+        );
+        self.multi_extract_min();
+        Some(self.forehead.drain(..).collect())
+    }
+
+    /// `Multi-Insert`: move the largest `b` items of `Forehead ∪ Waiting`
+    /// into `H` as a fresh `B_0` b-node (paper §5).
+    fn flush_waiting(&mut self) {
+        debug_assert!(self.waiting.len() >= self.b);
+        let before = self.net.stats();
+        // Invariant at stake: Forehead may only hold items ≤ everything in
+        // H. Items that were already in Forehead satisfy it, and so does any
+        // leftover ≤ the old Forehead maximum (at least |Forehead| pool
+        // elements sit below that bound). Leftovers above it — possible only
+        // when melds piled more than b items into Waiting — must go *back to
+        // Waiting*, not into Forehead, or a later extract would return them
+        // ahead of smaller keys still in H (a bug the queue_proptest suite
+        // caught).
+        let old_fore_max = self.forehead.back().copied();
+        let mut pool: Vec<i64> = self.forehead.drain(..).collect();
+        pool.extend(self.waiting.drain().map(|Reverse(w)| w));
+        pool.sort_unstable();
+        let cut = pool.len().saturating_sub(self.b);
+        let chunk = pool.split_off(cut);
+        match old_fore_max {
+            Some(m) => {
+                let split = pool.partition_point(|&k| k <= m);
+                for &k in &pool[split..] {
+                    self.waiting.push(Reverse(k));
+                }
+                pool.truncate(split);
+                self.forehead = pool.into();
+            }
+            None => {
+                for k in pool {
+                    self.waiting.push(Reverse(k));
+                }
+                self.forehead = VecDeque::new();
+            }
+        }
+        // The chunk travels from the I/O processor to Π(0) (where a degree-0
+        // node lives).
+        let dst = self.proc_of(0);
+        if dst != self.io_proc {
+            route(
+                &mut self.net,
+                vec![Packet {
+                    src: self.io_proc,
+                    dst,
+                    payload: chunk.iter().map(|&k| k as Word).collect(),
+                }],
+            )
+            .expect("legal route");
+        }
+        let id = self.heap.alloc(chunk);
+        let single = vec![Some(id)];
+        let old = std::mem::take(&mut self.heap.roots);
+        self.heap.roots = self.b_union(&old, &single);
+        let delta = stats_delta(self.net.stats(), before);
+        self.ledger.push((DOp::MultiInsert, delta));
+    }
+
+    /// `Multi-Extract-Min`: remove the chunk-minimal root, ship its `b` keys
+    /// to the I/O processor (→ `Forehead`), and re-meld its children.
+    fn multi_extract_min(&mut self) {
+        debug_assert!(self.forehead.is_empty());
+        let before = self.net.stats();
+        // The chunk-order invariant makes the root with the smallest max key
+        // hold the globally smallest b items. Metered as a min-reduction
+        // over the root positions (a Hamiltonian prefix).
+        let width = self.heap.roots.len();
+        let elements: Vec<Vec<Word>> = (0..width)
+            .map(|i| {
+                let k = self.heap.roots[i]
+                    .map(|r| self.heap.get(r).max_key())
+                    .unwrap_or(i64::MAX);
+                vec![k, i as Word]
+            })
+            .collect();
+        let reduced =
+            hamiltonian_prefix_cyclic(&mut self.net, &elements, &[i64::MAX, -1], |a, b| {
+                if b[0] < a[0] {
+                    b.to_vec()
+                } else {
+                    a.to_vec()
+                }
+            })
+            .expect("legal prefix");
+        let slot = reduced.last().expect("heap nonempty")[1] as usize;
+        let root = self.heap.roots[slot].expect("reduction found a root");
+        debug_assert_eq!(
+            Some(self.heap.get(root).max_key()),
+            self.heap
+                .roots
+                .iter()
+                .flatten()
+                .map(|&r| self.heap.get(r).max_key())
+                .min()
+        );
+        self.heap.roots[slot] = None;
+        self.heap.trim();
+        let node = self.heap.dealloc(root);
+        // Ship the keys home.
+        let src = self.proc_of(slot);
+        if src != self.io_proc {
+            route(
+                &mut self.net,
+                vec![Packet {
+                    src,
+                    dst: self.io_proc,
+                    payload: node.keys.iter().map(|&k| k as Word).collect(),
+                }],
+            )
+            .expect("legal route");
+        }
+        self.forehead = node.keys.into();
+        // Children re-meld.
+        let children: Vec<Option<BbNodeId>> = node.children.iter().copied().map(Some).collect();
+        for c in &node.children {
+            self.heap.get_mut(*c).parent = None;
+        }
+        let old = std::mem::take(&mut self.heap.roots);
+        self.heap.roots = self.b_union(&old, &children);
+        let delta = stats_delta(self.net.stats(), before);
+        self.ledger.push((DOp::MultiExtractMin, delta));
+    }
+
+    /// Meld another queue into this one (`b-Union` of the heaps; buffers are
+    /// merged at the I/O processor).
+    pub fn meld(&mut self, other: DistributedPq) {
+        assert_eq!(self.b, other.b, "bandwidths must match");
+        assert_eq!(self.net.q(), other.net.q(), "cube sizes must match");
+        let before = self.net.stats();
+        // Absorb other's arena.
+        let mut map: Vec<Option<BbNodeId>> = Vec::new();
+        let other_roots = {
+            let mut roots = Vec::new();
+            let BbHeap { roots: oroots, .. } = &other.heap;
+            // Deep-copy nodes via traversal.
+            fn copy(
+                src: &BbHeap,
+                dst: &mut BbHeap,
+                id: BbNodeId,
+                parent: Option<BbNodeId>,
+                map: &mut Vec<Option<BbNodeId>>,
+            ) -> BbNodeId {
+                let n = src.get(id);
+                let new_id = dst.alloc(n.keys.clone());
+                dst.get_mut(new_id).parent = parent;
+                if map.len() <= id.0 as usize {
+                    map.resize(id.0 as usize + 1, None);
+                }
+                map[id.0 as usize] = Some(new_id);
+                let kids: Vec<BbNodeId> = n.children.clone();
+                for c in kids {
+                    let nc = copy(src, dst, c, Some(new_id), map);
+                    dst.get_mut(new_id).children.push(nc);
+                }
+                new_id
+            }
+            for (i, r) in oroots.iter().enumerate() {
+                while roots.len() <= i {
+                    roots.push(None);
+                }
+                if let Some(id) = r {
+                    roots[i] = Some(copy(&other.heap, &mut self.heap, *id, None, &mut map));
+                }
+            }
+            roots
+        };
+        let old = std::mem::take(&mut self.heap.roots);
+        self.heap.roots = self.b_union(&old, &other_roots);
+        // Buffers merge at the I/O processor. Melding can break the
+        // Forehead invariant (every item of H ≥ max(Forehead)), so the
+        // conservative repair spills both Foreheads through Waiting and
+        // flushes full b-chunks into H; flush_waiting itself keeps only
+        // invariant-safe leftovers in Forehead.
+        for k in self.forehead.drain(..) {
+            self.waiting.push(Reverse(k));
+        }
+        for k in other.forehead.iter().copied() {
+            self.waiting.push(Reverse(k));
+        }
+        for Reverse(w) in other.waiting.into_iter() {
+            self.waiting.push(Reverse(w));
+        }
+        while self.waiting.len() >= self.b {
+            self.flush_waiting();
+        }
+        let delta = stats_delta(self.net.stats(), before);
+        self.ledger.push((DOp::Union, delta));
+    }
+
+    // ------------------------------------------------------------------
+    // b-Union (Theorem 3)
+    // ------------------------------------------------------------------
+
+    fn collection_size(&self, roots: &[Option<BbNodeId>]) -> usize {
+        roots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| 1usize << i)
+            .sum()
+    }
+
+    fn refs_of(&self, roots: &[Option<BbNodeId>], width: usize) -> Vec<Option<RootRef>> {
+        (0..width)
+            .map(|i| {
+                roots.get(i).copied().flatten().map(|id| RootRef {
+                    key: self.heap.get(id).max_key(),
+                    id: NodeId(id.0),
+                })
+            })
+            .collect()
+    }
+
+    /// The `b-Union` of two root collections already in this arena.
+    pub(crate) fn b_union(
+        &mut self,
+        r1: &[Option<BbNodeId>],
+        r2: &[Option<BbNodeId>],
+    ) -> Vec<Option<BbNodeId>> {
+        let s1 = self.collection_size(r1);
+        let s2 = self.collection_size(r2);
+        if s1 + s2 == 0 {
+            return Vec::new();
+        }
+        // Preprocess unconditionally: even a one-sided union must restore
+        // the global chunk order (e.g. the children of an extracted root are
+        // not chunk-ordered among themselves).
+        self.preprocess(r1, r2);
+        if s2 == 0 {
+            let mut out = r1.to_vec();
+            while matches!(out.last(), Some(None)) {
+                out.pop();
+            }
+            return out;
+        }
+        if s1 == 0 {
+            let mut out = r2.to_vec();
+            while matches!(out.last(), Some(None)) {
+                out.pop();
+            }
+            return out;
+        }
+
+        // ---- Phases I–II: host plan + metered Hamiltonian prefixes ----
+        let width = plan_width(s1, s2);
+        let refs1 = self.refs_of(r1, width);
+        let refs2 = self.refs_of(r2, width);
+        let plan = build_plan_seq(&refs1, &refs2);
+        self.run_metered_phases(&plan);
+
+        // ---- Phase III: data movement, then host-side surgery ----
+        self.phase3_movement(&plan);
+        self.apply_plan(&plan)
+    }
+
+    /// Preprocessing (paper §5): sort all root keys on the cube and deal the
+    /// sorted chunks back to the roots ordered by old max key.
+    fn preprocess(&mut self, r1: &[Option<BbNodeId>], r2: &[Option<BbNodeId>]) {
+        let p = self.net.nodes();
+        let all_roots: Vec<BbNodeId> = r1
+            .iter()
+            .flatten()
+            .chain(r2.iter().flatten())
+            .copied()
+            .collect();
+        if all_roots.len() <= 1 {
+            return; // nothing to interleave
+        }
+        let b = self.b;
+        let m_total = all_roots.len() * b;
+        let m_block = m_total.div_ceil(p).max(1);
+
+        // (1) Route every root's keys to its bitonic block(s).
+        let mut packets: Vec<Packet> = Vec::new();
+        let mut stream: Vec<Word> = Vec::with_capacity(m_total);
+        for (j, &root) in all_roots.iter().enumerate() {
+            let src = self.proc_of(self.heap.degree(root));
+            let keys = self.heap.get(root).keys.clone();
+            for (t, &k) in keys.iter().enumerate() {
+                stream.push(k as Word);
+                let global = j * b + t;
+                let dst = (global / m_block).min(p - 1);
+                if dst != src {
+                    // Coalesce consecutive keys with the same destination.
+                    if let Some(last) = packets.last_mut() {
+                        if last.src == src && last.dst == dst && !global.is_multiple_of(m_block) {
+                            last.payload.push(k as Word);
+                            continue;
+                        }
+                    }
+                    packets.push(Packet {
+                        src,
+                        dst,
+                        payload: vec![k as Word],
+                    });
+                }
+            }
+        }
+        route(&mut self.net, packets).expect("legal route");
+
+        // (2) Bitonic sort on the cube (metered).
+        let sorted = bitonic_sort(&mut self.net, &stream).expect("legal sort");
+
+        // (3) Tree order by old max key (ties by enumeration index).
+        let mut order: Vec<usize> = (0..all_roots.len()).collect();
+        order.sort_by_key(|&j| (self.heap.get(all_roots[j]).max_key(), j));
+
+        // (4) Deal chunk j to the j-th tree; route from the block(s) home.
+        let mut packets: Vec<Packet> = Vec::new();
+        for (j, &root_idx) in order.iter().enumerate() {
+            let root = all_roots[root_idx];
+            let dst = self.proc_of(self.heap.degree(root));
+            let chunk: Vec<i64> = sorted[j * b..(j + 1) * b].to_vec();
+            let src_block = ((j * b) / m_block).min(p - 1);
+            if src_block != dst {
+                packets.push(Packet {
+                    src: src_block,
+                    dst,
+                    payload: chunk.iter().map(|&k| k as Word).collect(),
+                });
+            }
+            self.heap.get_mut(root).keys = chunk;
+        }
+        route(&mut self.net, packets).expect("legal route");
+    }
+
+    /// Phases I–II as metered Hamiltonian prefixes; asserts the distributed
+    /// results agree with the host plan.
+    fn run_metered_phases(&mut self, plan: &UnionPlan) {
+        let width = plan.width;
+        // Carry scan over KPG statuses.
+        let statuses: Vec<Vec<Word>> = (0..width)
+            .map(|i| vec![parscan::carry_status(plan.a[i], plan.b[i]).to_word()])
+            .collect();
+        let carried = hamiltonian_prefix_cyclic(
+            &mut self.net,
+            &statuses,
+            &[parscan::CarryStatus::Propagate.to_word()],
+            |l, r| {
+                vec![parscan::compose_status(
+                    parscan::CarryStatus::from_word(l[0]),
+                    parscan::CarryStatus::from_word(r[0]),
+                )
+                .to_word()]
+            },
+        )
+        .expect("legal prefix");
+        for (i, t) in carried.iter().enumerate().take(width) {
+            let c = parscan::CarryStatus::from_word(t[0]) == parscan::CarryStatus::Generate;
+            debug_assert_eq!(c, plan.c[i], "distributed carry disagrees at {i}");
+            let _ = c;
+        }
+        // Segmented prefix minima over (flag, key, ptr).
+        let elements: Vec<Vec<Word>> = (0..width)
+            .map(|i| {
+                let (k, ptr) = plan.i_value_b[i]
+                    .map(|r| (r.key, r.id.0 as Word))
+                    .unwrap_or((i64::MAX, -1));
+                vec![plan.i_lim[i] as Word, k, ptr]
+            })
+            .collect();
+        let minima =
+            hamiltonian_prefix_cyclic(&mut self.net, &elements, &[0, i64::MAX, -1], |l, r| {
+                if r[0] != 0 {
+                    r.to_vec()
+                } else if r[1] < l[1] {
+                    vec![l[0], r[1], r[2]]
+                } else {
+                    vec![l[0], l[1], l[2]]
+                }
+            })
+            .expect("legal prefix");
+        for (i, t) in minima.iter().enumerate().take(width) {
+            let got = (t[2] != -1).then_some(t[2] as u32);
+            debug_assert_eq!(
+                got,
+                plan.i_value_a[i].map(|r| r.id.0),
+                "distributed segmented min disagrees at {i}"
+            );
+            let _ = got;
+        }
+    }
+
+    /// Phase III communication: child addresses to dominants, changed-degree
+    /// roots to their new processors.
+    fn phase3_movement(&mut self, plan: &UnionPlan) {
+        let mut packets: Vec<Packet> = Vec::new();
+        for l in &plan.links {
+            let child = BbNodeId(l.child.0);
+            let parent = BbNodeId(l.parent.0);
+            let src = self.proc_of(self.heap.degree(child));
+            let dst = self.proc_of(self.heap.degree(parent));
+            if src != dst {
+                // (child address, slot): 3 words with the route header.
+                packets.push(Packet {
+                    src,
+                    dst,
+                    payload: vec![child.0 as Word, l.slot as Word],
+                });
+            }
+        }
+        route(&mut self.net, packets).expect("legal route");
+
+        // Roots whose degree changes relocate with their whole record:
+        // b keys + child table + header.
+        let mut packets: Vec<Packet> = Vec::new();
+        for (slot, r) in plan.new_roots.iter().enumerate() {
+            let Some(id) = r else { continue };
+            let node = BbNodeId(id.0);
+            let old_deg = self.heap.degree(node);
+            // After the links apply, this root's degree is `slot`.
+            let new_deg = slot;
+            let src = self.proc_of(old_deg);
+            let dst = self.proc_of(new_deg);
+            if src != dst {
+                let payload_len = self.b + new_deg + 2;
+                packets.push(Packet {
+                    src,
+                    dst,
+                    payload: vec![0; payload_len],
+                });
+            }
+        }
+        route(&mut self.net, packets).expect("legal route");
+    }
+
+    /// Host-side structural surgery mirroring the movement.
+    fn apply_plan(&mut self, plan: &UnionPlan) -> Vec<Option<BbNodeId>> {
+        for l in &plan.links {
+            let child = BbNodeId(l.child.0);
+            let parent = BbNodeId(l.parent.0);
+            debug_assert_eq!(self.heap.degree(child), l.slot);
+            debug_assert_eq!(self.heap.degree(parent), l.slot);
+            self.heap.get_mut(parent).children.push(child);
+            self.heap.get_mut(child).parent = Some(parent);
+        }
+        let mut out: Vec<Option<BbNodeId>> = plan
+            .new_roots
+            .iter()
+            .map(|r| r.map(|id| BbNodeId(id.0)))
+            .collect();
+        while matches!(out.last(), Some(None)) {
+            out.pop();
+        }
+        for r in out.iter().flatten() {
+            self.heap.get_mut(*r).parent = None;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn insert_extract_roundtrip_small() {
+        let mut pq = DistributedPq::new(2, 4);
+        let keys = [9, 3, 7, 1, 8, 2, 6, 4, 5, 0, 11, 10];
+        for &k in &keys {
+            pq.insert(k);
+        }
+        assert_eq!(pq.len(), keys.len());
+        pq.heap().validate().unwrap();
+        let mut expected = keys.to_vec();
+        expected.sort_unstable();
+        assert_eq!(pq.into_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn chunk_order_restored_after_every_flush() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pq = DistributedPq::new(3, 4);
+        for _ in 0..64 {
+            pq.insert(rng.gen_range(-1000..1000));
+        }
+        pq.heap().validate().unwrap();
+        pq.heap().validate_chunk_order().unwrap();
+    }
+
+    #[test]
+    fn randomized_workload_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..8 {
+            let q = rng.gen_range(1usize..4);
+            let b = [2usize, 4, 8][rng.gen_range(0..3)];
+            let mut pq = DistributedPq::new(q, b);
+            let mut oracle: Vec<i64> = Vec::new();
+            for _ in 0..300 {
+                if rng.gen_bool(0.6) || oracle.is_empty() {
+                    let k = rng.gen_range(-10_000..10_000);
+                    pq.insert(k);
+                    oracle.push(k);
+                } else {
+                    let got = pq.extract_min();
+                    let (idx, _) = oracle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, k)| **k)
+                        .expect("nonempty");
+                    let want = oracle.swap_remove(idx);
+                    assert_eq!(got, Some(want), "trial {trial}");
+                }
+                assert_eq!(pq.len(), oracle.len());
+            }
+            pq.heap().validate().unwrap();
+            oracle.sort_unstable();
+            assert_eq!(pq.into_sorted_vec(), oracle, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn min_is_nondestructive_and_correct() {
+        let mut pq = DistributedPq::new(2, 3);
+        for k in [5, 9, 1, 7, 3, 8] {
+            pq.insert(k);
+        }
+        assert_eq!(pq.min(), Some(1));
+        assert_eq!(pq.len(), 6);
+        assert_eq!(pq.extract_min(), Some(1));
+        assert_eq!(pq.min(), Some(3));
+    }
+
+    #[test]
+    fn meld_two_queues() {
+        let mut a = DistributedPq::new(2, 4);
+        let mut b = DistributedPq::new(2, 4);
+        for k in 0..20 {
+            a.insert(k * 2); // evens
+            b.insert(k * 2 + 1); // odds
+        }
+        a.meld(b);
+        a.heap().validate().unwrap();
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.into_sorted_vec(), (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ledger_records_multi_operations() {
+        let mut pq = DistributedPq::new(2, 4);
+        for k in 0..16 {
+            pq.insert(k);
+        }
+        let multi_inserts = pq
+            .ledger()
+            .iter()
+            .filter(|(op, _)| *op == DOp::MultiInsert)
+            .count();
+        assert_eq!(multi_inserts, 4); // 16 inserts / b=4
+        assert!(pq.net_stats().messages > 0);
+        while pq.extract_min().is_some() {}
+        assert!(pq
+            .ledger()
+            .iter()
+            .any(|(op, _)| *op == DOp::MultiExtractMin));
+    }
+
+    #[test]
+    fn duplicates_and_negatives() {
+        let mut pq = DistributedPq::new(1, 2);
+        for k in [-5, -5, 0, 0, 3, 3, -5, 1] {
+            pq.insert(k);
+        }
+        assert_eq!(pq.into_sorted_vec(), vec![-5, -5, -5, 0, 0, 1, 3, 3]);
+    }
+}
+
+#[cfg(test)]
+mod multiop_tests {
+    use super::*;
+
+    #[test]
+    fn direct_multi_insert_and_extract() {
+        let mut pq = DistributedPq::new(2, 4);
+        pq.multi_insert(vec![9, 1, 5, 3]);
+        pq.multi_insert(vec![8, 2, 6, 4]);
+        pq.heap().validate().unwrap();
+        pq.heap().validate_chunk_order().unwrap();
+        assert_eq!(pq.len(), 8);
+        let chunk = pq.multi_extract_min_direct().expect("nonempty");
+        assert_eq!(chunk, vec![1, 2, 3, 4]);
+        let chunk = pq.multi_extract_min_direct().expect("nonempty");
+        assert_eq!(chunk, vec![5, 6, 8, 9]);
+        assert_eq!(pq.multi_extract_min_direct(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly b items")]
+    fn multi_insert_rejects_wrong_width() {
+        let mut pq = DistributedPq::new(2, 4);
+        pq.multi_insert(vec![1, 2]);
+    }
+
+    #[test]
+    fn direct_ops_are_metered() {
+        let mut pq = DistributedPq::new(3, 8);
+        let d1 = pq.multi_insert((0..8).collect());
+        let d2 = pq.multi_insert((8..16).collect());
+        // The second insert must meld with an existing tree: more traffic.
+        assert!(d2.messages >= d1.messages);
+        assert!(pq.net_stats().time > 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the distributed queue: arbitrary op mixes across
+//! cube sizes, bandwidths, and both mappings, against a multiset oracle.
+
+use dmpq::mapping::MappingKind;
+use dmpq::DistributedPq;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    ExtractMin,
+    Min,
+    Meld(Vec<i64>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (-100_000i64..100_000).prop_map(Op::Insert),
+        3 => Just(Op::ExtractMin),
+        1 => Just(Op::Min),
+        1 => proptest::collection::vec(-100_000i64..100_000, 0..10).prop_map(Op::Meld),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_queue_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+        q in 0usize..4,
+        b in 1usize..12,
+        identity_mapping in any::<bool>(),
+    ) {
+        let kind = if identity_mapping {
+            MappingKind::Identity
+        } else {
+            MappingKind::Gray
+        };
+        let mut pq = DistributedPq::with_mapping(q, b, kind);
+        let mut oracle: Vec<i64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    pq.insert(k);
+                    oracle.push(k);
+                }
+                Op::ExtractMin => {
+                    let got = pq.extract_min();
+                    let want = oracle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, k)| **k)
+                        .map(|(i, _)| i);
+                    match want {
+                        None => prop_assert_eq!(got, None),
+                        Some(i) => prop_assert_eq!(got, Some(oracle.swap_remove(i))),
+                    }
+                }
+                Op::Min => {
+                    prop_assert_eq!(pq.min(), oracle.iter().min().copied());
+                }
+                Op::Meld(keys) => {
+                    let mut other = DistributedPq::with_mapping(q, b, kind);
+                    for &k in &keys {
+                        other.insert(k);
+                        oracle.push(k);
+                    }
+                    pq.meld(other);
+                }
+            }
+            prop_assert_eq!(pq.len(), oracle.len());
+            pq.heap().validate().expect("b-heap invariants");
+        }
+        let mut expected = oracle;
+        expected.sort_unstable();
+        prop_assert_eq!(pq.into_sorted_vec(), expected);
+    }
+
+    /// The structural isomorphism carries over: the b-heap's tree orders are
+    /// the set bits of (items in H) / b.
+    #[test]
+    fn bheap_orders_are_set_bits_of_node_count(
+        n_chunks in 0usize..40,
+        b in 1usize..6,
+    ) {
+        let mut pq = DistributedPq::new(2, b);
+        for k in 0..(n_chunks * b) as i64 {
+            pq.insert(k);
+        }
+        let nodes = pq.heap().node_count();
+        prop_assert_eq!(nodes, n_chunks);
+        let expected: Vec<usize> = (0..usize::BITS as usize)
+            .filter(|i| nodes >> i & 1 == 1)
+            .collect();
+        prop_assert_eq!(pq.heap().root_orders(), expected);
+        pq.heap().validate_chunk_order().expect("chunk order");
+    }
+}
+
+/// Pinned regression: melds can overfill `Waiting` beyond `b`; the flush
+/// must not move unordered leftovers into `Forehead` (they would be served
+/// before smaller keys still in H). Found by the proptest above.
+#[test]
+fn regression_meld_overfilled_waiting_keeps_forehead_sound() {
+    let mut pq = DistributedPq::new(2, 3);
+    let mut oracle: Vec<i64> = Vec::new();
+    let meld_in = |pq: &mut DistributedPq, keys: &[i64], oracle: &mut Vec<i64>| {
+        let mut other = DistributedPq::new(2, 3);
+        for &k in keys {
+            other.insert(k);
+            oracle.push(k);
+        }
+        pq.meld(other);
+    };
+    meld_in(
+        &mut pq,
+        &[0, -9, -39485, 91469, -78115, -83600, -27653],
+        &mut oracle,
+    );
+    for k in [-82528, -98798, -61569] {
+        pq.insert(k);
+        oracle.push(k);
+    }
+    let extract = |pq: &mut DistributedPq, oracle: &mut Vec<i64>| {
+        let got = pq.extract_min();
+        let (i, _) = oracle.iter().enumerate().min_by_key(|(_, k)| **k).unwrap();
+        assert_eq!(got, Some(oracle.swap_remove(i)));
+    };
+    extract(&mut pq, &mut oracle);
+    extract(&mut pq, &mut oracle);
+    extract(&mut pq, &mut oracle);
+    pq.insert(-97421);
+    oracle.push(-97421);
+    extract(&mut pq, &mut oracle);
+    meld_in(
+        &mut pq,
+        &[78564, 40430, -85368, -56273, 34023, 34719, 1119, 16580],
+        &mut oracle,
+    );
+    pq.insert(44787);
+    oracle.push(44787);
+    // The original failure: returned -78115 while -85368 was still in H.
+    extract(&mut pq, &mut oracle);
+    oracle.sort_unstable();
+    assert_eq!(pq.into_sorted_vec(), oracle);
+}

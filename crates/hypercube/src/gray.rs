@@ -1,0 +1,108 @@
+//! Binary-reflected Gray code and the Hamiltonian path `Π`.
+//!
+//! `Π(i) = gray(i)` walks all `2^q` hypercube nodes such that consecutive
+//! path positions are physically adjacent (they differ in one bit). Two
+//! properties the algorithms lean on:
+//!
+//! * **Recursive split**: path ranks `[0, 2^{d})` within any aligned group
+//!   occupy a sub-cube; flipping node bit `d` flips rank bits `0..=d`, so a
+//!   node's dimension-`d` neighbour always lies in the sibling rank-subgroup
+//!   (this is what makes the `q`-round Hamiltonian prefix work).
+//! * **Wraparound**: `gray(2^q - 1)` and `gray(0)` also differ in one bit
+//!   (the path is a Hamiltonian *cycle*).
+
+/// The Gray code of `i`: position `i` of the Hamiltonian path, `Π(i)`.
+pub fn gray(i: usize) -> usize {
+    i ^ (i >> 1)
+}
+
+/// Inverse Gray code: the path rank of node `g` (`Π⁻¹`).
+pub fn gray_inv(g: usize) -> usize {
+    // bit_j(rank) = XOR of node bits j..: fold the suffix-xor.
+    let mut r = 0;
+    let mut x = g;
+    while x != 0 {
+        r ^= x;
+        x >>= 1;
+    }
+    r
+}
+
+/// Hamming distance between two node labels.
+pub fn hamming(a: usize, b: usize) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Whether two nodes are directly linked in the hypercube.
+pub fn is_adjacent(a: usize, b: usize) -> bool {
+    hamming(a, b) == 1
+}
+
+/// The dimension of the link between two adjacent nodes.
+pub fn link_dim(a: usize, b: usize) -> usize {
+    debug_assert!(is_adjacent(a, b));
+    (a ^ b).trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_is_a_bijection_with_inverse() {
+        for q in 0..=10usize {
+            let n = 1usize << q;
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let g = gray(i);
+                assert!(g < n);
+                assert!(!seen[g]);
+                seen[g] = true;
+                assert_eq!(gray_inv(g), i);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_path_positions_are_adjacent() {
+        for q in 1..=10usize {
+            let n = 1usize << q;
+            for i in 0..n - 1 {
+                assert!(is_adjacent(gray(i), gray(i + 1)), "q={q} i={i}");
+            }
+            // Hamiltonian cycle closure.
+            assert!(is_adjacent(gray(n - 1), gray(0)));
+        }
+    }
+
+    #[test]
+    fn q2_path_matches_paper_example() {
+        // Paper §5: Π(0)=0, Π(1)=1, Π(2)=3, Π(3)=2 on Q_2.
+        assert_eq!((0..4).map(gray).collect::<Vec<_>>(), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn dim_d_neighbour_is_in_sibling_rank_subgroup() {
+        // Flipping node bit d flips rank bits 0..=d: same 2^{d+1}-aligned
+        // rank group, opposite half.
+        for q in 1..=8usize {
+            let n = 1usize << q;
+            for node in 0..n {
+                let r = gray_inv(node);
+                for d in 0..q {
+                    let partner = node ^ (1 << d);
+                    let rp = gray_inv(partner);
+                    assert_eq!(r >> (d + 1), rp >> (d + 1), "same group");
+                    assert_ne!((r >> d) & 1, (rp >> d) & 1, "opposite halves");
+                    assert_eq!(r ^ rp, (1 << (d + 1)) - 1, "exact rank flip");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_dim_identifies_axis() {
+        assert_eq!(link_dim(0b0101, 0b0001), 2);
+        assert_eq!(link_dim(0b0101, 0b0100), 0);
+    }
+}

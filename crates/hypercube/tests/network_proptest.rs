@@ -1,0 +1,144 @@
+//! Property-based tests of the network substrate: routing delivers any
+//! multiset of packets, prefixes match sequential oracles for arbitrary
+//! (including non-commutative) operators, collectives agree with direct
+//! computation, and the sort handles arbitrary inputs — all while the
+//! engine enforces single-port legality on every round.
+
+use hypercube::collectives::{all_reduce, broadcast, gather, reduce};
+use hypercube::prefix::{hamiltonian_prefix, hamiltonian_prefix_cyclic};
+use hypercube::routing::{route, Packet};
+use hypercube::sort::bitonic_sort;
+use hypercube::{NetSim, Word};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary many-to-many packet sets all arrive, in source order per
+    /// destination queue discipline.
+    #[test]
+    fn routing_delivers_arbitrary_traffic(
+        q in 1usize..5,
+        pairs in proptest::collection::vec((any::<u16>(), any::<u16>(), -100i64..100), 0..64),
+    ) {
+        let n = 1usize << q;
+        let mut net = NetSim::new(q);
+        let packets: Vec<Packet> = pairs
+            .iter()
+            .map(|&(s, d, k)| Packet {
+                src: s as usize % n,
+                dst: d as usize % n,
+                payload: vec![k],
+            })
+            .collect();
+        let total = packets.len();
+        let delivered = route(&mut net, packets.clone()).unwrap();
+        prop_assert_eq!(delivered.iter().map(|v| v.len()).sum::<usize>(), total);
+        // Every (dst, payload) multiset matches.
+        for (node, del) in delivered.iter().enumerate() {
+            let mut got: Vec<i64> = del.iter().map(|p| p.payload[0]).collect();
+            let mut want: Vec<i64> = packets
+                .iter()
+                .filter(|p| p.dst == node)
+                .map(|p| p.payload[0])
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Hamiltonian prefix equals the sequential scan for the non-commutative
+    /// "overwrite-unless-identity" operator on arbitrary values.
+    #[test]
+    fn prefix_matches_oracle_noncommutative(
+        q in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = 1usize << q;
+        let values: Vec<Vec<Word>> = (0..p)
+            .map(|_| vec![if rng.gen_bool(0.4) { rng.gen_range(1..100) } else { 0 }])
+            .collect();
+        let op = |a: &[Word], b: &[Word]| -> Vec<Word> {
+            if b[0] == 0 { a.to_vec() } else { b.to_vec() }
+        };
+        let mut net = NetSim::new(q);
+        let got = hamiltonian_prefix(&mut net, &values, op).unwrap();
+        let mut acc = vec![0];
+        for (r, t) in got.iter().enumerate() {
+            acc = op(&acc, &values[r]);
+            prop_assert_eq!(t, &acc);
+        }
+    }
+
+    /// Cyclic prefix over ragged lengths equals the oracle.
+    #[test]
+    fn cyclic_prefix_matches_oracle(
+        q in 0usize..4,
+        m in 0usize..70,
+    ) {
+        let elements: Vec<Vec<Word>> = (0..m).map(|i| vec![(i * i % 31) as Word]).collect();
+        let mut net = NetSim::new(q);
+        let got = hamiltonian_prefix_cyclic(&mut net, &elements, &[0], |a, b| {
+            vec![a[0] + b[0]]
+        })
+        .unwrap();
+        let mut acc = 0;
+        prop_assert_eq!(got.len(), m);
+        for (i, t) in got.iter().enumerate() {
+            acc += elements[i][0];
+            prop_assert_eq!(t[0], acc);
+        }
+    }
+
+    /// Broadcast/reduce/all-reduce/gather agree with direct computation for
+    /// arbitrary roots and values.
+    #[test]
+    fn collectives_match_direct_computation(
+        q in 0usize..5,
+        root_sel in any::<u16>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 1usize << q;
+        let root = root_sel as usize % n;
+        let values: Vec<Vec<Word>> = (0..n).map(|_| vec![rng.gen_range(-50..50)]).collect();
+        let sum: Word = values.iter().map(|v| v[0]).sum();
+
+        let mut net = NetSim::new(q);
+        let out = broadcast(&mut net, root, vec![99]).unwrap();
+        prop_assert!(out.iter().all(|p| p == &vec![99]));
+
+        let mut net = NetSim::new(q);
+        let total = reduce(&mut net, root, values.clone(), |a, b| vec![a[0] + b[0]]).unwrap();
+        prop_assert_eq!(total[0], sum);
+
+        let mut net = NetSim::new(q);
+        let all = all_reduce(&mut net, values.clone(), |a, b| vec![a[0] + b[0]]).unwrap();
+        prop_assert!(all.iter().all(|v| v[0] == sum));
+
+        let mut net = NetSim::new(q);
+        let gathered = gather(&mut net, root, values.clone()).unwrap();
+        let mut got: Vec<Word> = gathered.iter().map(|(_, p)| p[0]).collect();
+        let mut want: Vec<Word> = values.iter().map(|v| v[0]).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bitonic sort equals `sort_unstable` on arbitrary inputs and sizes.
+    #[test]
+    fn bitonic_matches_std_sort(
+        q in 0usize..5,
+        keys in proptest::collection::vec(-1000i64..1000, 0..120),
+    ) {
+        let mut net = NetSim::new(q);
+        let got = bitonic_sort(&mut net, &keys).unwrap();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,191 @@
+//! The carry-lookahead monoid (paper §3.1).
+//!
+//! For each bit position of the addition `n1 + n2` the paper derives the carry
+//! *generator* `g_i = a_i ∧ b_i` and *propagator* `p_i = a_i ⊕ b_i`; the carry
+//! recurrence `c_i = g_i ∨ (p_i ∧ c_{i-1})` is a prefix computation over the
+//! classic Kill/Propagate/Generate status monoid, which is how the carries are
+//! obtained in `O(log log n + (log n)/p)` EREW time.
+
+use crate::seq;
+
+/// Carry status of a bit position (also the scan element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarryStatus {
+    /// `a_i = b_i = 0`: the position kills any incoming carry.
+    Kill,
+    /// `a_i ⊕ b_i = 1`: the position propagates the incoming carry.
+    Propagate,
+    /// `a_i = b_i = 1`: the position generates a carry regardless of input.
+    Generate,
+}
+
+impl CarryStatus {
+    /// Encode as a machine word for PRAM-hosted scans.
+    pub fn to_word(self) -> i64 {
+        match self {
+            CarryStatus::Kill => 0,
+            CarryStatus::Propagate => 1,
+            CarryStatus::Generate => 2,
+        }
+    }
+
+    /// Decode from a machine word.
+    pub fn from_word(w: i64) -> CarryStatus {
+        match w {
+            0 => CarryStatus::Kill,
+            1 => CarryStatus::Propagate,
+            2 => CarryStatus::Generate,
+            other => panic!("invalid carry status word {other}"),
+        }
+    }
+}
+
+/// Status of position `i` given the presence bits `a_i`, `b_i`.
+pub fn carry_status(a: bool, b: bool) -> CarryStatus {
+    match (a, b) {
+        (true, true) => CarryStatus::Generate,
+        (false, false) => CarryStatus::Kill,
+        _ => CarryStatus::Propagate,
+    }
+}
+
+/// Monoid composition, `l` for the less significant positions, `r` more
+/// significant: a propagating position passes `l` through, anything else
+/// decides on its own. Identity element: [`CarryStatus::Propagate`].
+pub fn compose_status(l: CarryStatus, r: CarryStatus) -> CarryStatus {
+    match r {
+        CarryStatus::Propagate => l,
+        decided => decided,
+    }
+}
+
+/// Sequential carry chain (the ripple adder): `carries[i] = c_i`, the carry
+/// *out* of position `i`, with `c_{-1} = 0`.
+pub fn carries_ripple(a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut c = false;
+    for i in 0..a.len() {
+        c = (a[i] && b[i]) || ((a[i] ^ b[i]) && c);
+        out.push(c);
+    }
+    out
+}
+
+/// Carries via the status-monoid prefix scan (sequential execution; the PRAM
+/// and rayon executions use the same operator through their scan primitives).
+pub fn carries_by_scan(a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len());
+    let statuses: Vec<CarryStatus> = a.iter().zip(b).map(|(&x, &y)| carry_status(x, y)).collect();
+    seq::scan_inclusive(&statuses, compose_status)
+        .into_iter()
+        .map(|s| s == CarryStatus::Generate)
+        .collect()
+}
+
+/// Sum bits `s_i = a_i ⊕ b_i ⊕ c_{i-1}` given the carry array (note the carry
+/// array has one more significant position than either input if the addition
+/// overflows; callers size the arrays with the extra slot as the paper does).
+pub fn sum_bits(a: &[bool], b: &[bool], carries: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), carries.len());
+    (0..a.len())
+        .map(|i| {
+            let c_in = i > 0 && carries[i - 1];
+            a[i] ^ b[i] ^ c_in
+        })
+        .collect()
+}
+
+/// Helper: little-endian bit vector of `n`, padded/truncated to `len`.
+pub fn bits_of(n: usize, len: usize) -> Vec<bool> {
+    (0..len).map(|i| n >> i & 1 == 1).collect()
+}
+
+/// Helper: reassemble a little-endian bit vector into a number.
+pub fn bits_to_usize(bits: &[bool]) -> usize {
+    bits.iter()
+        .enumerate()
+        .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classification() {
+        assert_eq!(carry_status(true, true), CarryStatus::Generate);
+        assert_eq!(carry_status(false, false), CarryStatus::Kill);
+        assert_eq!(carry_status(true, false), CarryStatus::Propagate);
+        assert_eq!(carry_status(false, true), CarryStatus::Propagate);
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        use CarryStatus::*;
+        for x in [Kill, Propagate, Generate] {
+            for y in [Kill, Propagate, Generate] {
+                for z in [Kill, Propagate, Generate] {
+                    assert_eq!(
+                        compose_status(compose_status(x, y), z),
+                        compose_status(x, compose_status(y, z))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_is_identity() {
+        use CarryStatus::*;
+        for x in [Kill, Propagate, Generate] {
+            assert_eq!(compose_status(Propagate, x), x);
+            assert_eq!(compose_status(x, Propagate), x);
+        }
+    }
+
+    #[test]
+    fn scan_matches_ripple_exhaustively_small() {
+        for n1 in 0..64usize {
+            for n2 in 0..64usize {
+                let a = bits_of(n1, 8);
+                let b = bits_of(n2, 8);
+                assert_eq!(carries_by_scan(&a, &b), carries_ripple(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn addition_via_sum_bits() {
+        for n1 in 0..64usize {
+            for n2 in 0..64usize {
+                let a = bits_of(n1, 8);
+                let b = bits_of(n2, 8);
+                let c = carries_by_scan(&a, &b);
+                let mut s = sum_bits(&a, &b, &c);
+                // overflow bit (cannot happen at 8 bits for 6-bit inputs)
+                s.push(false);
+                assert_eq!(bits_to_usize(&s), n1 + n2);
+            }
+        }
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        use CarryStatus::*;
+        for s in [Kill, Propagate, Generate] {
+            assert_eq!(CarryStatus::from_word(s.to_word()), s);
+        }
+    }
+
+    #[test]
+    fn figure1_carry_row() {
+        // Figure 1: H1 = {B1,B3,B5,B6}, H2 = {B0,B1,B2,B5}; positions 0..=7.
+        let a = bits_of(0b0110_1010, 8); // B1,B3,B5,B6
+        let b = bits_of(0b0010_0111, 8); // B0,B1,B2,B5
+        let c = carries_by_scan(&a, &b);
+        // Paper's c row (positions 7..0): 0 1 1 0 1 1 1 0  → little-endian:
+        assert_eq!(c, [false, true, true, true, false, true, true, false]);
+    }
+}

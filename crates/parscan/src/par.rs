@@ -1,0 +1,122 @@
+//! Rayon (real-thread) scans for wall-clock experiments.
+//!
+//! The classic two-pass chunked scan: (1) each worker scans a contiguous
+//! chunk and reports its total, (2) chunk totals are exclusive-scanned
+//! sequentially (there are only `O(threads)` of them), (3) each worker
+//! re-walks its chunk applying the incoming offset.
+
+use rayon::prelude::*;
+
+/// Minimum chunk length before parallelism is worth the coordination.
+const MIN_CHUNK: usize = 4 * 1024;
+
+/// Inclusive scan with an associative `op` (identity needed to seed offsets).
+pub fn scan_inclusive<T, Op>(xs: &[T], identity: T, op: Op) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync,
+{
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = (n.div_ceil(threads)).max(MIN_CHUNK);
+    if chunk >= n {
+        return crate::seq::scan_inclusive(xs, op);
+    }
+
+    // Pass 1: local inclusive scans.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    // Safety not needed: build via collect of chunks then fix offsets in place.
+    out.extend_from_slice(xs);
+    let totals: Vec<T> = out
+        .par_chunks_mut(chunk)
+        .map(|c| {
+            let mut acc = c[0];
+            for v in c.iter_mut().skip(1) {
+                acc = op(acc, *v);
+                *v = acc;
+            }
+            acc
+        })
+        .collect();
+
+    // Pass 2: exclusive scan of chunk totals (tiny, sequential).
+    let offsets = crate::seq::scan_exclusive(&totals, identity, &op);
+
+    // Pass 3: apply offsets (skip chunk 0 whose offset is the identity).
+    out.par_chunks_mut(chunk)
+        .zip(offsets.par_iter())
+        .skip(1)
+        .for_each(|(c, &off)| {
+            for v in c.iter_mut() {
+                *v = op(off, *v);
+            }
+        });
+    out
+}
+
+/// Inclusive segmented prefix minima (the paper's Phase II) over real threads.
+pub fn segmented_prefix_min<T>(flags: &[bool], values: &[T], max: T) -> Vec<T>
+where
+    T: Copy + Ord + Send + Sync,
+{
+    assert_eq!(flags.len(), values.len());
+    let pairs: Vec<(bool, T)> = flags.iter().copied().zip(values.iter().copied()).collect();
+    let scanned = scan_inclusive(&pairs, (false, max), |l, r| {
+        if r.0 {
+            r
+        } else {
+            (l.0, l.1.min(r.1))
+        }
+    });
+    scanned.into_iter().map(|p| p.1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let xs = [1i64, 2, 3];
+        assert_eq!(scan_inclusive(&xs, 0, |a, b| a + b), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn large_scan_matches_sequential() {
+        let xs: Vec<i64> = (0..100_000).map(|i| (i * 37) % 101 - 50).collect();
+        let par = scan_inclusive(&xs, 0, |a, b| a + b);
+        let seq = crate::seq::scan_inclusive(&xs, |a, b| a + b);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn large_noncommutative_scan_matches() {
+        // max-suffix-flag operator (noncommutative "right wins if flagged").
+        let xs: Vec<(bool, i64)> = (0..60_000)
+            .map(|i| (i % 97 == 0, (i * 31) % 1000))
+            .collect();
+        let op = |l: (bool, i64), r: (bool, i64)| if r.0 { r } else { (l.0, l.1.min(r.1)) };
+        let par = scan_inclusive(&xs, (false, i64::MAX), op);
+        let seq = crate::seq::scan_inclusive(&xs, op);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn segmented_min_matches_oracle_large() {
+        let n = 80_000;
+        let flags: Vec<bool> = (0..n).map(|i| i % 213 == 0 || i == 0).collect();
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 100_000).collect();
+        assert_eq!(
+            segmented_prefix_min(&flags, &values, i64::MAX),
+            crate::seq::segmented_prefix_min(&flags, &values)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(scan_inclusive::<i64, _>(&[], 0, |a, b| a + b), vec![]);
+    }
+}

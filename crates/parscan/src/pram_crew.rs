@@ -1,0 +1,164 @@
+//! CREW scan and broadcast primitives on the PRAM simulator.
+//!
+//! The Hillis–Steele recurrence (`x[i] ← x[i−2^d] ⊕ x[i]`) finishes in
+//! `⌈log n⌉` doubling steps but double-reads cells: position `i` is read by
+//! both processor `i` and processor `i + 2^d` in the same step. It is
+//! therefore a **CREW** algorithm — the simulator proves it by aborting the
+//! same program under EREW (see `hillis_steele_is_not_erew`). The paper's
+//! Union uses the work-efficient EREW Blelloch scan instead
+//! ([`crate::pram_host`]); this module exists to make the model separation
+//! executable and to provide the CREW pieces §4 is allowed to use.
+//!
+//! [`broadcast`] is the standard EREW doubling broadcast: one cell fans out
+//! to `n` cells in `⌈log n⌉` steps without any concurrent read.
+
+use pram::{Addr, Pram, PramError, Word};
+
+/// Hillis–Steele inclusive scan (CREW): `⌈log n⌉` steps, `O(n log n)` work.
+/// Operates in place over `buf[0..n]` with a ping-pong scratch region.
+pub fn hillis_steele_scan(
+    m: &mut Pram,
+    buf: Addr,
+    n: usize,
+    op: impl Fn(Word, Word) -> Word + Copy,
+) -> Result<(), PramError> {
+    if n <= 1 {
+        return Ok(());
+    }
+    let scratch = m.alloc(n, 0);
+    let mut src = buf;
+    let mut dst = scratch;
+    let mut d = 1usize;
+    while d < n {
+        m.par_for(n, |i, ctx| {
+            let v = ctx.read(src + i)?;
+            let out = if i >= d {
+                let left = ctx.read(src + i - d)?;
+                op(left, v)
+            } else {
+                v
+            };
+            ctx.write(dst + i, out)
+        })?;
+        std::mem::swap(&mut src, &mut dst);
+        d <<= 1;
+    }
+    if src != buf {
+        m.par_for(n, |i, ctx| {
+            let v = ctx.read(src + i)?;
+            ctx.write(buf + i, v)
+        })?;
+    }
+    Ok(())
+}
+
+/// EREW doubling broadcast: copy `cell` into `out[0..n]` in `⌈log n⌉`
+/// conflict-free steps (round `d` copies the already-filled prefix of length
+/// `2^d` onto the next `2^d` slots — disjoint reads, disjoint writes).
+pub fn broadcast(m: &mut Pram, cell: Addr, out: Addr, n: usize) -> Result<(), PramError> {
+    if n == 0 {
+        return Ok(());
+    }
+    m.solo(|ctx| {
+        let v = ctx.read(cell)?;
+        ctx.write(out, v)
+    })?;
+    let mut filled = 1usize;
+    while filled < n {
+        let copy = filled.min(n - filled);
+        m.par_for(copy, |i, ctx| {
+            let v = ctx.read(out + i)?;
+            ctx.write(out + filled + i, v)
+        })?;
+        filled += copy;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::{Cost, Model};
+
+    #[test]
+    fn hillis_steele_matches_oracle_under_crew() {
+        for n in [1usize, 2, 5, 16, 33, 100] {
+            for p in [1usize, 3, 8] {
+                let mut m = Pram::new(Model::Crew, p);
+                let xs: Vec<Word> = (0..n as Word).map(|i| i * 3 - 5).collect();
+                let buf = m.alloc_init(&xs);
+                hillis_steele_scan(&mut m, buf, n, |a, b| a + b).unwrap();
+                let expected = crate::seq::scan_inclusive(&xs, |a, b| a + b);
+                assert_eq!(m.host_slice(buf, n), &expected[..], "n={n} p={p}");
+            }
+        }
+    }
+
+    /// The executable model separation: the same program aborts under EREW.
+    #[test]
+    fn hillis_steele_is_not_erew() {
+        let mut m = Pram::new(Model::Erew, 4);
+        let xs: Vec<Word> = (0..8).collect();
+        let buf = m.alloc_init(&xs);
+        let err = hillis_steele_scan(&mut m, buf, 8, |a, b| a + b).unwrap_err();
+        assert!(
+            matches!(err, PramError::ReadConflict { .. }),
+            "double-read must be detected: {err:?}"
+        );
+    }
+
+    #[test]
+    fn hillis_steele_time_is_log_but_work_is_nlogn() {
+        let n = 1usize << 10;
+        let xs: Vec<Word> = vec![1; n];
+        // Unbounded processors: one step per doubling round.
+        let mut m = Pram::new(Model::Crew, n);
+        let buf = m.alloc_init(&xs);
+        m.reset_cost();
+        hillis_steele_scan(&mut m, buf, n, |a, b| a + b).unwrap();
+        let c = m.cost();
+        // 10 doubling rounds + final copy-back (if any): time ~ log n,
+        // well below the sequential n.
+        assert!(c.time <= 2 * 10 + 2, "time {}", c.time);
+        // Work is super-linear (the price of the fast recurrence).
+        assert!(c.work >= (n as u64) * 9, "work {}", c.work);
+        // The EREW Blelloch scan does the same job with O(n) work.
+        let mut m2 = Pram::new(Model::Erew, n);
+        let input = m2.alloc_init(&xs);
+        let out = m2.alloc(n, 0);
+        m2.reset_cost();
+        crate::pram_host::scan_inclusive(&mut m2, input, out, n, 0, |a, b| a + b).unwrap();
+        assert!(m2.cost().work < c.work / 2, "Blelloch must be work-cheaper");
+    }
+
+    #[test]
+    fn broadcast_is_erew_legal_and_correct() {
+        for n in [1usize, 2, 7, 64, 100] {
+            let mut m = Pram::new(Model::Erew, 8);
+            let cell = m.alloc_init(&[42]);
+            let out = m.alloc(n, 0);
+            broadcast(&mut m, cell, out, n).unwrap();
+            assert!(m.host_slice(out, n).iter().all(|&w| w == 42), "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_time_is_logarithmic_with_enough_processors() {
+        let n = 1usize << 12;
+        let mut m = Pram::new(Model::Erew, n);
+        let cell = m.alloc_init(&[7]);
+        let out = m.alloc(n, 0);
+        m.reset_cost();
+        broadcast(&mut m, cell, out, n).unwrap();
+        assert!(m.cost().time <= 13, "time {}", m.cost().time);
+    }
+
+    #[test]
+    fn empty_broadcast_is_free() {
+        let mut m = Pram::new(Model::Erew, 2);
+        let cell = m.alloc_init(&[1]);
+        let out = m.alloc(1, 0);
+        broadcast(&mut m, cell, out, 0).unwrap();
+        assert_eq!(m.cost(), Cost::ZERO);
+    }
+}

@@ -1,0 +1,330 @@
+//! Work-efficient EREW scans executed on the [`pram`] simulator.
+//!
+//! The scan is the Blelloch up-sweep/down-sweep tree. Unlike the
+//! Hillis–Steele recurrence (which double-reads cells and is only CREW), every
+//! tree step touches disjoint cell pairs, so the program runs — machine
+//! checked — under the EREW conflict rules. With `p` processors and `n`
+//! elements the measured cost is `O(n/p + log n)` time and `O(n)` work; for
+//! `n = O(log N)` positions and `p = log N / log log N` processors this is the
+//! `O(log log N + log N / p)` bound Phase I/II of the paper's Union needs.
+
+use pram::{Addr, Pram, PramError, Word};
+
+use crate::segmin::{seg_identity, seg_op_packed, seg_pack, seg_unpack};
+
+/// Inclusive scan over `arity` parallel arrays treated as an array-of-tuples.
+///
+/// `inputs[a] + i` holds component `a` of element `i`; the scanned tuples are
+/// written to `outputs[a] + i` (which may alias `inputs`). `op` combines two
+/// tuples, left operand preceding right in index order.
+pub fn scan_inclusive_tuples<const A: usize, Op>(
+    m: &mut Pram,
+    inputs: [Addr; A],
+    outputs: [Addr; A],
+    n: usize,
+    identity: [Word; A],
+    op: Op,
+) -> Result<(), PramError>
+where
+    Op: Fn([Word; A], [Word; A]) -> [Word; A] + Copy,
+{
+    if n == 0 {
+        return Ok(());
+    }
+    let n2 = n.next_power_of_two();
+    // Scratch tree, one region per component, identity-padded.
+    let mut scratch = [0usize; A];
+    for (a, s) in scratch.iter_mut().enumerate() {
+        *s = m.alloc(n2, identity[a]);
+    }
+    // Load.
+    m.par_for(n, |i, ctx| {
+        for a in 0..A {
+            let v = ctx.read(inputs[a] + i)?;
+            ctx.write(scratch[a] + i, v)?;
+        }
+        Ok(())
+    })?;
+    let levels = n2.trailing_zeros() as usize;
+    // Up-sweep: internal tree nodes accumulate left ⊕ right.
+    for d in 0..levels {
+        let pairs = n2 >> (d + 1);
+        m.par_for(pairs, |k, ctx| {
+            let i = (k << (d + 1)) + (1 << d) - 1;
+            let j = (k << (d + 1)) + (1 << (d + 1)) - 1;
+            let mut l = [0 as Word; A];
+            let mut r = [0 as Word; A];
+            for a in 0..A {
+                l[a] = ctx.read(scratch[a] + i)?;
+                r[a] = ctx.read(scratch[a] + j)?;
+            }
+            let o = op(l, r);
+            for a in 0..A {
+                ctx.write(scratch[a] + j, o[a])?;
+            }
+            Ok(())
+        })?;
+    }
+    // Down-sweep: produces the exclusive scan in `scratch`.
+    m.solo(|ctx| {
+        for a in 0..A {
+            ctx.write(scratch[a] + n2 - 1, identity[a])?;
+        }
+        Ok(())
+    })?;
+    for d in (0..levels).rev() {
+        let pairs = n2 >> (d + 1);
+        m.par_for(pairs, |k, ctx| {
+            let i = (k << (d + 1)) + (1 << d) - 1;
+            let j = (k << (d + 1)) + (1 << (d + 1)) - 1;
+            let mut t = [0 as Word; A];
+            let mut parent = [0 as Word; A];
+            for a in 0..A {
+                t[a] = ctx.read(scratch[a] + i)?;
+                parent[a] = ctx.read(scratch[a] + j)?;
+            }
+            let right = op(parent, t);
+            for a in 0..A {
+                ctx.write(scratch[a] + i, parent[a])?;
+                ctx.write(scratch[a] + j, right[a])?;
+            }
+            Ok(())
+        })?;
+    }
+    // Combine exclusive scan with the input to get the inclusive scan.
+    m.par_for(n, |i, ctx| {
+        let mut e = [0 as Word; A];
+        let mut x = [0 as Word; A];
+        for a in 0..A {
+            e[a] = ctx.read(scratch[a] + i)?;
+            x[a] = ctx.read(inputs[a] + i)?;
+        }
+        let o = op(e, x);
+        for a in 0..A {
+            ctx.write(outputs[a] + i, o[a])?;
+        }
+        Ok(())
+    })?;
+    Ok(())
+}
+
+/// Inclusive scan over a single word array.
+pub fn scan_inclusive(
+    m: &mut Pram,
+    input: Addr,
+    output: Addr,
+    n: usize,
+    identity: Word,
+    op: impl Fn(Word, Word) -> Word + Copy,
+) -> Result<(), PramError> {
+    scan_inclusive_tuples::<1, _>(m, [input], [output], n, [identity], |l, r| [op(l[0], r[0])])
+}
+
+/// The paper's Phase II primitive on the PRAM: inclusive segmented prefix
+/// minima of `values` (words; `i64::MAX` = nil) guided by `flags`
+/// (`1` = segment start, the paper's `I_lim`). Results land in `out`.
+pub fn segmented_prefix_min(
+    m: &mut Pram,
+    flags: Addr,
+    values: Addr,
+    out: Addr,
+    n: usize,
+) -> Result<(), PramError> {
+    if n == 0 {
+        return Ok(());
+    }
+    let packed = m.alloc(n, 0);
+    m.par_for(n, |i, ctx| {
+        let f = ctx.read(flags + i)?;
+        let v = ctx.read(values + i)?;
+        ctx.write(packed + i, seg_pack((f != 0, v)))
+    })?;
+    scan_inclusive(
+        m,
+        packed,
+        packed,
+        n,
+        seg_pack(seg_identity()),
+        seg_op_packed,
+    )?;
+    m.par_for(n, |i, ctx| {
+        let w = ctx.read(packed + i)?;
+        ctx.write(out + i, seg_unpack(w).1)
+    })?;
+    Ok(())
+}
+
+/// Minimum (and arg-min) of `values[0..n]` (lexicographic on `(value, index)`)
+/// computed by an EREW reduction tree; the result is written to the two-word
+/// cell pair `(out_val, out_idx)`. `i64::MAX` cells are treated as absent.
+pub fn reduce_min_argmin(
+    m: &mut Pram,
+    values: Addr,
+    n: usize,
+    out_val: Addr,
+    out_idx: Addr,
+) -> Result<(), PramError> {
+    if n == 0 {
+        m.solo(|ctx| {
+            ctx.write(out_val, i64::MAX)?;
+            ctx.write(out_idx, pram::NIL)
+        })?;
+        return Ok(());
+    }
+    let n2 = n.next_power_of_two();
+    let vals = m.alloc(n2, i64::MAX);
+    let idxs = m.alloc(n2, pram::NIL);
+    m.par_for(n, |i, ctx| {
+        let v = ctx.read(values + i)?;
+        ctx.write(vals + i, v)?;
+        ctx.write(idxs + i, i as Word)
+    })?;
+    let levels = n2.trailing_zeros() as usize;
+    for d in 0..levels {
+        let pairs = n2 >> (d + 1);
+        m.par_for(pairs, |k, ctx| {
+            let i = (k << (d + 1)) + (1 << d) - 1;
+            let j = (k << (d + 1)) + (1 << (d + 1)) - 1;
+            let (lv, li) = (ctx.read(vals + i)?, ctx.read(idxs + i)?);
+            let (rv, ri) = (ctx.read(vals + j)?, ctx.read(idxs + j)?);
+            // Lexicographic min; ties to the lower index (the left operand
+            // covers lower indices).
+            let (v, ix) = if lv <= rv { (lv, li) } else { (rv, ri) };
+            ctx.write(vals + j, v)?;
+            ctx.write(idxs + j, ix)
+        })?;
+    }
+    m.solo(|ctx| {
+        let v = ctx.read(vals + n2 - 1)?;
+        let ix = ctx.read(idxs + n2 - 1)?;
+        ctx.write(out_val, v)?;
+        ctx.write(out_idx, ix)
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::Model;
+
+    fn machine(p: usize) -> Pram {
+        Pram::new(Model::Erew, p)
+    }
+
+    #[test]
+    fn scan_sum_matches_sequential() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 33] {
+            for p in [1usize, 2, 4, 7] {
+                let mut m = machine(p);
+                let xs: Vec<Word> = (0..n as Word).map(|i| i * 3 - 7).collect();
+                let input = m.alloc_init(&xs);
+                let out = m.alloc(n, 0);
+                scan_inclusive(&mut m, input, out, n, 0, |a, b| a + b).unwrap();
+                let expected = crate::seq::scan_inclusive(&xs, |a, b| a + b);
+                assert_eq!(m.host_slice(out, n), &expected[..], "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_in_place_aliasing_allowed() {
+        let mut m = machine(3);
+        let xs = [5, 1, 4, 1, 5, 9, 2, 6, 5];
+        let input = m.alloc_init(&xs);
+        scan_inclusive(&mut m, input, input, xs.len(), 0, |a, b| a + b).unwrap();
+        assert_eq!(
+            m.host_slice(input, xs.len()),
+            crate::seq::scan_inclusive(&xs, |a, b| a + b).as_slice()
+        );
+    }
+
+    #[test]
+    fn scan_respects_noncommutative_ops() {
+        // "Last non-identity wins" operator: identity = -1.
+        let op = |a: Word, b: Word| if b == -1 { a } else { b };
+        let xs = [3, -1, -1, 7, -1, 2, -1];
+        for p in [1usize, 2, 5] {
+            let mut m = machine(p);
+            let input = m.alloc_init(&xs);
+            let out = m.alloc(xs.len(), 0);
+            scan_inclusive(&mut m, input, out, xs.len(), -1, op).unwrap();
+            assert_eq!(m.host_slice(out, xs.len()), &[3, 3, 3, 7, 7, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn segmented_min_matches_sequential_oracle() {
+        let flags_b = [true, false, false, true, false, true, false, false];
+        let values: Vec<Word> = vec![9, 4, 6, 2, 8, 5, 1, 7];
+        let expected = crate::seq::segmented_prefix_min(&flags_b, &values);
+        for p in [1usize, 3, 8] {
+            let mut m = machine(p);
+            let flags_w: Vec<Word> = flags_b.iter().map(|&f| f as Word).collect();
+            let flags = m.alloc_init(&flags_w);
+            let vals = m.alloc_init(&values);
+            let out = m.alloc(values.len(), 0);
+            segmented_prefix_min(&mut m, flags, vals, out, values.len()).unwrap();
+            assert_eq!(m.host_slice(out, values.len()), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn segmented_min_propagates_nil() {
+        let flags_w: Vec<Word> = vec![1, 0, 1, 0];
+        let values: Vec<Word> = vec![i64::MAX, 4, i64::MAX, i64::MAX];
+        let mut m = machine(2);
+        let flags = m.alloc_init(&flags_w);
+        let vals = m.alloc_init(&values);
+        let out = m.alloc(4, 0);
+        segmented_prefix_min(&mut m, flags, vals, out, 4).unwrap();
+        assert_eq!(m.host_slice(out, 4), &[i64::MAX, 4, i64::MAX, i64::MAX]);
+    }
+
+    #[test]
+    fn reduce_min_finds_value_and_index() {
+        let xs: Vec<Word> = vec![7, 3, 9, 3, 12];
+        let mut m = machine(4);
+        let vals = m.alloc_init(&xs);
+        let ov = m.alloc(1, 0);
+        let oi = m.alloc(1, 0);
+        reduce_min_argmin(&mut m, vals, xs.len(), ov, oi).unwrap();
+        assert_eq!(m.host_read(ov), 3);
+        // Tie at indices 1 and 3 resolves to the smaller index.
+        assert_eq!(m.host_read(oi), 1);
+    }
+
+    #[test]
+    fn reduce_min_empty_and_all_nil() {
+        let mut m = machine(2);
+        let vals = m.alloc_init(&[i64::MAX, i64::MAX]);
+        let ov = m.alloc(1, 0);
+        let oi = m.alloc(1, 0);
+        reduce_min_argmin(&mut m, vals, 2, ov, oi).unwrap();
+        assert_eq!(m.host_read(ov), i64::MAX);
+        let ov2 = m.alloc(1, 7);
+        let oi2 = m.alloc(1, 7);
+        reduce_min_argmin(&mut m, vals, 0, ov2, oi2).unwrap();
+        assert_eq!(m.host_read(oi2), pram::NIL);
+    }
+
+    #[test]
+    fn scan_cost_scales_as_n_over_p_plus_log() {
+        // With n fixed, time must drop as p grows, approaching ~4·log n.
+        let n = 1 << 10;
+        let xs: Vec<Word> = (0..n as Word).collect();
+        let mut prev_time = u64::MAX;
+        for p in [1usize, 2, 4, 8, 16] {
+            let mut m = machine(p);
+            let input = m.alloc_init(&xs);
+            let out = m.alloc(n, 0);
+            m.reset_cost();
+            scan_inclusive(&mut m, input, out, n, 0, |a, b| a + b).unwrap();
+            let c = m.cost();
+            assert!(c.time <= prev_time, "time must not grow with p");
+            prev_time = c.time;
+            // Work stays O(n): allow the constant of the tree + copies.
+            assert!(c.work <= 8 * n as u64 + 64 * p as u64);
+        }
+    }
+}

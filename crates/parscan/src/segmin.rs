@@ -1,0 +1,127 @@
+//! The segmented-minimum pair monoid (paper §3.2).
+//!
+//! Phase II runs a *segmented* prefix-minima over `I_value` guided by the
+//! boolean array `I_lim` (`I_lim[i] = 1` starts a segment at `i`). A segmented
+//! scan is an ordinary scan over pairs `(flag, value)` under the operator
+//! below, which is associative with identity `(false, +∞)` — that is what lets
+//! Phase II reuse the same work-optimal scan machinery as Phase I.
+
+/// Scan element: the segment-start flag and the running minimum. The value is
+/// a machine word; `i64::MAX` plays +∞ (the paper's `nil`).
+pub type SegPair = (bool, i64);
+
+/// Identity element of the segmented-min monoid.
+pub fn seg_identity() -> SegPair {
+    (false, i64::MAX)
+}
+
+/// Composition: if the right operand starts a segment, the left prefix is
+/// discarded; otherwise minima merge. The flag records whether the combined
+/// range contains a segment start.
+pub fn seg_op(l: SegPair, r: SegPair) -> SegPair {
+    if r.0 {
+        r
+    } else {
+        (l.0, l.1.min(r.1))
+    }
+}
+
+/// Pack a pair into one machine word for PRAM-hosted scans: bit 0 = flag,
+/// remaining bits = value + bias. Values must fit in 62 bits; heap keys and
+/// pointers in this workspace always do.
+pub fn seg_pack(p: SegPair) -> i64 {
+    const BIAS: i64 = 1 << 61;
+    debug_assert!(p.1 >= -BIAS && (p.1 < BIAS || p.1 == i64::MAX));
+    let v = if p.1 == i64::MAX {
+        (BIAS << 1) - 1
+    } else {
+        p.1 + BIAS
+    };
+    (v << 1) | p.0 as i64
+}
+
+/// Unpack [`seg_pack`]'s encoding.
+pub fn seg_unpack(w: i64) -> SegPair {
+    const BIAS: i64 = 1 << 61;
+    let flag = w & 1 == 1;
+    let v = w >> 1;
+    let value = if v == (BIAS << 1) - 1 {
+        i64::MAX
+    } else {
+        v - BIAS
+    };
+    (flag, value)
+}
+
+/// The packed-word operator used on the PRAM (same monoid, word domain).
+pub fn seg_op_packed(l: i64, r: i64) -> i64 {
+    seg_pack(seg_op(seg_unpack(l), seg_unpack(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    #[test]
+    fn op_is_associative_on_samples() {
+        let samples: Vec<SegPair> = vec![
+            (false, 3),
+            (true, 5),
+            (false, -2),
+            (true, i64::MAX),
+            (false, i64::MAX),
+            (true, 0),
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                for &z in &samples {
+                    assert_eq!(seg_op(seg_op(x, y), z), seg_op(x, seg_op(y, z)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_laws() {
+        for p in [(false, 7), (true, -4), (false, i64::MAX)] {
+            assert_eq!(seg_op(seg_identity(), p), p);
+            assert_eq!(seg_op(p, seg_identity()), p);
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        for p in [
+            (false, 0),
+            (true, 123456789),
+            (false, -987654321),
+            (true, i64::MAX),
+        ] {
+            assert_eq!(seg_unpack(seg_pack(p)), p);
+        }
+    }
+
+    #[test]
+    fn scan_with_pairs_equals_direct_segmented_scan() {
+        let flags = [true, false, false, true, false, false, true];
+        let values = [9i64, 4, 6, 2, 8, 1, 5];
+        let pairs: Vec<SegPair> = flags.iter().copied().zip(values).collect();
+        let scanned = seq::scan_inclusive(&pairs, seg_op);
+        let direct = seq::segmented_prefix_min(&flags, &values);
+        assert_eq!(scanned.iter().map(|p| p.1).collect::<Vec<_>>(), direct);
+    }
+
+    #[test]
+    fn packed_op_matches_unpacked() {
+        let xs = [(true, 42i64), (false, -1), (false, i64::MAX)];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(
+                    seg_unpack(seg_op_packed(seg_pack(a), seg_pack(b))),
+                    seg_op(a, b)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Sequential scans: the oracles every parallel variant is tested against and
+//! the backend of the `Sequential` engine.
+
+/// Inclusive scan: `out[i] = xs[0] ⊕ xs[1] ⊕ … ⊕ xs[i]`.
+pub fn scan_inclusive<T, Op>(xs: &[T], op: Op) -> Vec<T>
+where
+    T: Copy,
+    Op: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for &x in xs {
+        let v = match acc {
+            None => x,
+            Some(a) => op(a, x),
+        };
+        out.push(v);
+        acc = Some(v);
+    }
+    out
+}
+
+/// Exclusive scan with explicit identity: `out[i] = id ⊕ xs[0] ⊕ … ⊕ xs[i-1]`.
+pub fn scan_exclusive<T, Op>(xs: &[T], identity: T, op: Op) -> Vec<T>
+where
+    T: Copy,
+    Op: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = identity;
+    for &x in xs {
+        out.push(acc);
+        acc = op(acc, x);
+    }
+    out
+}
+
+/// Inclusive *segmented* scan: `flags[i] == true` starts a new segment at `i`
+/// (the paper's `I_lim[i] = 1`); within a segment values accumulate with `op`.
+pub fn segmented_scan_inclusive<T, Op>(flags: &[bool], xs: &[T], op: Op) -> Vec<T>
+where
+    T: Copy,
+    Op: Fn(T, T) -> T,
+{
+    assert_eq!(flags.len(), xs.len());
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        let v = if flags[i] {
+            x
+        } else {
+            match acc {
+                None => x,
+                Some(a) => op(a, x),
+            }
+        };
+        out.push(v);
+        acc = Some(v);
+    }
+    out
+}
+
+/// The paper's Phase II primitive: inclusive segmented prefix *minima*.
+pub fn segmented_prefix_min<T: Ord + Copy>(flags: &[bool], xs: &[T]) -> Vec<T> {
+    segmented_scan_inclusive(flags, xs, |a, b| a.min(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_sum() {
+        assert_eq!(
+            scan_inclusive(&[1, 2, 3, 4], |a, b| a + b),
+            vec![1, 3, 6, 10]
+        );
+        assert_eq!(
+            scan_inclusive::<i32, _>(&[], |a, b| a + b),
+            Vec::<i32>::new()
+        );
+    }
+
+    #[test]
+    fn exclusive_sum() {
+        assert_eq!(
+            scan_exclusive(&[1, 2, 3, 4], 0, |a, b| a + b),
+            vec![0, 1, 3, 6]
+        );
+    }
+
+    #[test]
+    fn segmented_min_resets_on_flags() {
+        let flags = [true, false, false, true, false];
+        let xs = [5, 3, 4, 9, 7];
+        assert_eq!(segmented_prefix_min(&flags, &xs), vec![5, 3, 3, 9, 7]);
+    }
+
+    #[test]
+    fn segment_start_ignores_history() {
+        // Even a tiny prefix value must not leak across a segment boundary.
+        let flags = [true, false, true];
+        let xs = [0, 1, 100];
+        assert_eq!(segmented_prefix_min(&flags, &xs), vec![0, 0, 100]);
+    }
+
+    #[test]
+    fn leading_false_flag_starts_implicit_segment() {
+        let flags = [false, false];
+        let xs = [4, 2];
+        assert_eq!(segmented_prefix_min(&flags, &xs), vec![4, 2]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors a PRAM program can commit.
+
+use std::fmt;
+
+use crate::machine::Model;
+
+/// An illegal action by a PRAM program. Any of these aborts the run: a PRAM
+/// algorithm is only correct for a model if it never provokes one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// Two processors read the same cell in one step under EREW.
+    ReadConflict {
+        /// Conflicting address.
+        addr: usize,
+        /// The two (of possibly more) colliding processors.
+        pids: (usize, usize),
+    },
+    /// A cell was both read and written (by different processors) in one step
+    /// under EREW or CREW.
+    ReadWriteConflict {
+        /// Conflicting address.
+        addr: usize,
+        /// Reader processor.
+        reader: usize,
+        /// Writer processor.
+        writer: usize,
+    },
+    /// Two processors wrote the same cell in one step and the model forbids it
+    /// (EREW/CREW always; CRCW-common when the values differ).
+    WriteConflict {
+        /// Conflicting address.
+        addr: usize,
+        /// The two (of possibly more) colliding processors.
+        pids: (usize, usize),
+        /// Model under which the collision is illegal.
+        model: Model,
+    },
+    /// Access past the end of allocated shared memory.
+    OutOfBounds {
+        /// Offending address.
+        addr: usize,
+        /// Current memory size in words.
+        size: usize,
+    },
+    /// A processor exceeded the per-step O(1) access budget.
+    AccessBudgetExceeded {
+        /// Offending processor.
+        pid: usize,
+        /// Budget in accesses per step.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::ReadConflict { addr, pids } => write!(
+                f,
+                "EREW read conflict at cell {addr} between P{} and P{}",
+                pids.0, pids.1
+            ),
+            PramError::ReadWriteConflict {
+                addr,
+                reader,
+                writer,
+            } => write!(
+                f,
+                "read/write conflict at cell {addr}: P{reader} reads while P{writer} writes"
+            ),
+            PramError::WriteConflict { addr, pids, model } => write!(
+                f,
+                "write conflict at cell {addr} between P{} and P{} under {model:?}",
+                pids.0, pids.1
+            ),
+            PramError::OutOfBounds { addr, size } => {
+                write!(f, "address {addr} out of bounds (memory size {size})")
+            }
+            PramError::AccessBudgetExceeded { pid, budget } => {
+                write!(f, "P{pid} exceeded the {budget}-access-per-step budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}

@@ -1,0 +1,59 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # pram — a step-synchronous PRAM simulator
+//!
+//! The PRAM (parallel random access machine) is the model the paper's
+//! Theorems 1 and 2 are stated on. A PRAM is `p` synchronous processors over a
+//! shared word-addressed memory; each time step every active processor reads
+//! `O(1)` cells, computes, and writes `O(1)` cells, with all reads of a step
+//! happening before all writes of that step. The sub-models differ only in
+//! which same-step access collisions are legal:
+//!
+//! * **EREW** — exclusive read, exclusive write: *no* two processors may touch
+//!   the same cell in the same step.
+//! * **CREW** — concurrent read, exclusive write.
+//! * **CRCW (common)** — concurrent writes allowed if all writers agree on the
+//!   value.
+//!
+//! This simulator executes programs literally under those rules:
+//!
+//! * [`Pram::step`] runs one synchronous step; reads are served from the
+//!   pre-step memory image and writes are buffered and applied at the end of
+//!   the step.
+//! * Every access is recorded; an illegal collision for the configured
+//!   [`Model`] aborts the program with a descriptive [`PramError`]. This turns
+//!   the paper's "no access conflicts will arise" claims (e.g. Fact 3) into
+//!   machine-checked properties.
+//! * Per-step access budgets enforce the `O(1)`-work-per-step rule so a
+//!   "step" cannot smuggle in unbounded sequential work.
+//! * [`Cost`] accounting: `time` = number of steps, `work` = total active
+//!   processor-steps — exactly the quantities of Theorems 1–3.
+//!
+//! Host code (the part of an algorithm the paper would run on the front-end:
+//! loop bounds depending only on `n` and `p`, memory layout) drives the
+//! machine; all data-dependent information must flow through shared memory.
+//!
+//! ```
+//! use pram::{Model, Pram};
+//!
+//! let mut m = Pram::new(Model::Erew, 4);
+//! let xs = m.alloc_init(&[1, 2, 3, 4, 5, 6, 7, 8]);
+//! // Double every cell: one Brent-scheduled data-parallel pass.
+//! m.par_for(8, |i, ctx| {
+//!     let v = ctx.read(xs + i)?;
+//!     ctx.write(xs + i, 2 * v)
+//! }).unwrap();
+//! assert_eq!(m.host_slice(xs, 8), &[2, 4, 6, 8, 10, 12, 14, 16]);
+//! // ceil(8/4) = 2 synchronous steps, 8 processor-steps of work.
+//! assert_eq!(m.cost().time, 2);
+//! assert_eq!(m.cost().work, 8);
+//! ```
+
+pub mod cost;
+pub mod error;
+pub mod machine;
+pub mod trace;
+
+pub use cost::{Cost, PhaseCost};
+pub use error::PramError;
+pub use machine::{Addr, Ctx, Model, Pram, Word, NIL};

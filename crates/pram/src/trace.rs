@@ -1,0 +1,82 @@
+//! Optional per-step access tracing.
+//!
+//! When enabled, the machine records every step's read and write sets. This
+//! is a debugging instrument for PRAM programs: schedule mistakes show up as
+//! conflict errors, and the trace shows exactly which processors touched
+//! which cells in the offending step. It also lets tests assert *schedule*
+//! properties (e.g. "no step of the bubble-up touches more than 2 cells per
+//! processor") rather than just outcomes.
+
+use crate::machine::{Addr, Word};
+
+/// One processor's accesses within one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcAccess {
+    /// Processor id.
+    pub pid: usize,
+    /// Cells read.
+    pub reads: Vec<Addr>,
+    /// Cells written with the committed values.
+    pub writes: Vec<(Addr, Word)>,
+}
+
+/// The access record of one synchronous step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Phase label active when the step ran.
+    pub phase: String,
+    /// Per-processor accesses (active processors only).
+    pub procs: Vec<ProcAccess>,
+}
+
+impl StepTrace {
+    /// Total distinct cells touched in the step.
+    pub fn touched_cells(&self) -> usize {
+        let mut cells: Vec<Addr> = self
+            .procs
+            .iter()
+            .flat_map(|p| {
+                p.reads
+                    .iter()
+                    .copied()
+                    .chain(p.writes.iter().map(|(a, _)| *a))
+            })
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells.len()
+    }
+
+    /// Largest per-processor access count in the step (the O(1) witness).
+    pub fn max_accesses_per_proc(&self) -> usize {
+        self.procs
+            .iter()
+            .map(|p| p.reads.len() + p.writes.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A whole program trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Step records in execution order.
+    pub steps: Vec<StepTrace>,
+}
+
+impl Trace {
+    /// Render a compact text view (one line per step).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "step {i:>4} [{}] active={} cells={} max_acc={}\n",
+                s.phase,
+                s.procs.len(),
+                s.touched_cells(),
+                s.max_accesses_per_proc()
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,107 @@
+//! `std::collections::BinaryHeap` behind the [`MeldableHeap`] trait.
+//!
+//! The implicit binary heap is *not* efficiently meldable: `meld` here is the
+//! best available strategy (drain the smaller heap into the larger —
+//! "smaller-into-larger", `O(m log n)`), which experiment W1 contrasts with the
+//! `O(log n)` melds of the tree heaps.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::stats::OpStats;
+use crate::traits::MeldableHeap;
+
+/// Min-heap adapter over `std`'s max-`BinaryHeap`.
+#[derive(Debug, Default)]
+pub struct BinaryHeapAdapter<K: Ord> {
+    inner: BinaryHeap<Reverse<K>>,
+    stats: OpStats,
+}
+
+impl<K: Ord + Clone> Clone for BinaryHeapAdapter<K> {
+    fn clone(&self) -> Self {
+        BinaryHeapAdapter {
+            inner: self.inner.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<K: Ord> MeldableHeap<K> for BinaryHeapAdapter<K> {
+    fn new() -> Self {
+        BinaryHeapAdapter {
+            inner: BinaryHeap::new(),
+            stats: OpStats::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn insert(&mut self, key: K) {
+        // Charge the sift-up path: at most floor(log2(n+1)) comparisons.
+        let depth = (self.inner.len() + 1).ilog2() as u64;
+        self.stats.add_comparisons(depth.max(1));
+        self.inner.push(Reverse(key));
+    }
+
+    fn min(&self) -> Option<&K> {
+        self.inner.peek().map(|Reverse(k)| k)
+    }
+
+    fn extract_min(&mut self) -> Option<K> {
+        if self.inner.len() > 1 {
+            self.stats
+                .add_comparisons(2 * (self.inner.len().ilog2() as u64).max(1));
+        }
+        self.inner.pop().map(|Reverse(k)| k)
+    }
+
+    fn meld(&mut self, mut other: Self) {
+        self.stats.absorb(&other.stats);
+        // Smaller-into-larger: keep the bigger backing heap.
+        if other.inner.len() > self.inner.len() {
+            std::mem::swap(&mut self.inner, &mut other.inner);
+        }
+        let m = other.inner.len() as u64;
+        if m > 0 {
+            let depth = (self.inner.len().max(1)).ilog2() as u64 + 1;
+            self.stats.add_comparisons(m * depth);
+            self.stats.add_link();
+        }
+        self.inner.extend(other.inner.drain());
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_as_min_heap() {
+        let mut h = BinaryHeapAdapter::new();
+        for k in [5, 1, 4, 2, 3] {
+            h.insert(k);
+        }
+        assert_eq!(h.min(), Some(&1));
+        assert_eq!(h.into_sorted_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn meld_keeps_larger_backing_store() {
+        let mut small = BinaryHeapAdapter::from_iter_keys([7]);
+        let big = BinaryHeapAdapter::from_iter_keys([1, 2, 3, 4, 5, 6]);
+        small.meld(big);
+        assert_eq!(small.len(), 7);
+        assert_eq!(small.extract_min(), Some(1));
+    }
+}

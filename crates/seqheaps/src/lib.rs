@@ -1,0 +1,62 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # seqheaps — sequential meldable priority queue baselines
+//!
+//! This crate provides the *sequential* comparators required by the reproduction
+//! of Crupi, Das & Pinotti, *"Parallel and Distributed Meldable Priority Queues
+//! Based on Binomial Heaps"* (ICPP 1996):
+//!
+//! * [`BinomialHeap`] — the textbook (CLRS) binomial heap the paper
+//!   parallelizes, using the paper's node layout (a child array `L` indexed by
+//!   sub-tree order).
+//! * [`LeftistHeap`] — the meldable baseline the paper positions itself
+//!   against (footnote 1 and reference \[1], Chen & Hu).
+//! * [`SkewHeap`] — a self-adjusting meldable baseline.
+//! * [`PairingHeap`] — the practical meldable baseline.
+//! * [`BinaryHeapAdapter`] — `std`'s binary heap wrapped in the same trait;
+//!   *not* efficiently meldable (meld rebuilds), included to demonstrate why
+//!   meldability matters in the W1 experiment.
+//! * [`DaryHeap`] — an implicit d-ary heap with const-generic fan-out, the
+//!   cache-friendly practical baseline.
+//! * [`IndexedBinomialHeap`] — the arena/handle variant supporting the full
+//!   Definition 1 (`Decrease-Key`, `Delete`, `Change-Key`) sequentially —
+//!   the textbook comparator for the paper's §4.
+//!
+//! All structures implement the common [`MeldableHeap`] trait and carry an
+//! [`OpStats`] instrumentation block counting key comparisons and structural
+//! link operations, which the benchmark harness uses for machine-independent
+//! comparisons.
+//!
+//! ```
+//! use seqheaps::{BinomialHeap, LeftistHeap, MeldableHeap};
+//!
+//! let mut a = BinomialHeap::from_iter_keys([5, 1, 9]);
+//! let b = BinomialHeap::from_iter_keys([2, 8]);
+//! a.meld(b);                       // Union in O(log n)
+//! assert_eq!(a.min(), Some(&1));
+//! assert_eq!(a.into_sorted_vec(), vec![1, 2, 5, 8, 9]);
+//!
+//! // Every baseline shares the trait:
+//! let l = LeftistHeap::from_iter_keys([3, 1, 2]);
+//! assert_eq!(l.into_sorted_vec(), vec![1, 2, 3]);
+//! ```
+
+pub mod binary;
+pub mod binomial;
+pub mod dary;
+pub mod indexed;
+pub mod leftist;
+pub mod pairing;
+pub mod skew;
+pub mod stats;
+pub mod traits;
+
+pub use binary::BinaryHeapAdapter;
+pub use binomial::BinomialHeap;
+pub use dary::DaryHeap;
+pub use indexed::{IndexedBinomialHeap, ItemId};
+pub use leftist::LeftistHeap;
+pub use pairing::PairingHeap;
+pub use skew::SkewHeap;
+pub use stats::OpStats;
+pub use traits::MeldableHeap;

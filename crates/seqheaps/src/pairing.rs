@@ -1,0 +1,201 @@
+//! Pairing heap — the practical meldable baseline.
+//!
+//! `insert` and `meld` are a single comparison-link; `extract_min` performs
+//! the classic two-pass pairing of the root's children. Children are stored in
+//! a `Vec` (newest last) rather than the sibling-pointer list to stay idiomatic
+//! and cache-friendly.
+
+use crate::stats::OpStats;
+use crate::traits::MeldableHeap;
+
+#[derive(Debug, Clone)]
+struct PNode<K> {
+    key: K,
+    children: Vec<PNode<K>>,
+}
+
+impl<K: Ord> PNode<K> {
+    /// Comparison-link: the larger root becomes a child of the smaller.
+    fn link(mut self, mut other: Self, stats: &OpStats) -> Self {
+        stats.add_comparisons(1);
+        stats.add_link();
+        if other.key < self.key {
+            std::mem::swap(&mut self, &mut other);
+        }
+        self.children.push(other);
+        self
+    }
+}
+
+/// A pairing (min-)heap.
+#[derive(Debug, Default)]
+pub struct PairingHeap<K> {
+    root: Option<PNode<K>>,
+    len: usize,
+    stats: OpStats,
+}
+
+impl<K: Clone> Clone for PairingHeap<K> {
+    fn clone(&self) -> Self {
+        PairingHeap {
+            root: self.root.clone(),
+            len: self.len,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<K: Ord> PairingHeap<K> {
+    /// Two-pass pairing: link children pairwise left-to-right, then fold the
+    /// results right-to-left.
+    fn two_pass(mut children: Vec<PNode<K>>, stats: &OpStats) -> Option<PNode<K>> {
+        if children.is_empty() {
+            return None;
+        }
+        let mut paired: Vec<PNode<K>> = Vec::with_capacity(children.len().div_ceil(2));
+        let mut iter = children.drain(..);
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => paired.push(a.link(b, stats)),
+                None => paired.push(a),
+            }
+        }
+        drop(iter);
+        let mut acc = paired.pop().expect("nonempty");
+        while let Some(p) = paired.pop() {
+            acc = p.link(acc, stats);
+        }
+        Some(acc)
+    }
+
+    /// Check heap order (iteratively) and the size bookkeeping.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        let mut stack: Vec<&PNode<K>> = Vec::new();
+        if let Some(r) = &self.root {
+            stack.push(r);
+        }
+        while let Some(n) = stack.pop() {
+            count += 1;
+            for c in &n.children {
+                if c.key < n.key {
+                    return Err("heap order violated".into());
+                }
+                stack.push(c);
+            }
+        }
+        if count != self.len {
+            return Err(format!("len {} but tree holds {count}", self.len));
+        }
+        Ok(())
+    }
+}
+
+impl<K> Drop for PairingHeap<K> {
+    /// Iterative drop — pairing trees can grow deep under meld-heavy scripts.
+    fn drop(&mut self) {
+        let mut stack: Vec<PNode<K>> = Vec::new();
+        stack.extend(self.root.take());
+        while let Some(mut n) = stack.pop() {
+            stack.append(&mut n.children);
+        }
+    }
+}
+
+impl<K: Ord> MeldableHeap<K> for PairingHeap<K> {
+    fn new() -> Self {
+        PairingHeap {
+            root: None,
+            len: 0,
+            stats: OpStats::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, key: K) {
+        self.len += 1;
+        let n = PNode {
+            key,
+            children: Vec::new(),
+        };
+        self.root = Some(match self.root.take() {
+            None => n,
+            Some(r) => r.link(n, &self.stats),
+        });
+    }
+
+    fn min(&self) -> Option<&K> {
+        self.root.as_ref().map(|n| &n.key)
+    }
+
+    fn extract_min(&mut self) -> Option<K> {
+        let root = self.root.take()?;
+        self.len -= 1;
+        self.root = Self::two_pass(root.children, &self.stats);
+        Some(root.key)
+    }
+
+    fn meld(&mut self, mut other: Self) {
+        self.stats.absorb(&other.stats);
+        self.len += other.len;
+        other.len = 0;
+        self.root = match (self.root.take(), other.root.take()) {
+            (None, r) | (r, None) => r,
+            (Some(a), Some(b)) => Some(a.link(b, &self.stats)),
+        };
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_correctly() {
+        let mut h = PairingHeap::new();
+        for k in [3, 1, 4, 1, 5, 9, 2, 6] {
+            h.insert(k);
+            assert!(h.validate().is_ok());
+        }
+        assert_eq!(h.into_sorted_vec(), vec![1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn meld_is_constant_link() {
+        let mut a = PairingHeap::from_iter_keys([2, 8]);
+        let b = PairingHeap::from_iter_keys([1, 9]);
+        let links_before = a.stats().links() + b.stats().links();
+        a.meld(b);
+        assert_eq!(a.stats().links(), links_before + 1);
+        assert_eq!(a.into_sorted_vec(), vec![1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn extract_on_empty() {
+        let mut h: PairingHeap<i64> = PairingHeap::new();
+        assert_eq!(h.extract_min(), None);
+    }
+
+    #[test]
+    fn large_workload_keeps_invariants() {
+        let mut h = PairingHeap::new();
+        for k in (0..50_000).rev() {
+            h.insert(k);
+        }
+        for expect in 0..100 {
+            assert_eq!(h.extract_min(), Some(expect));
+        }
+        assert!(h.validate().is_ok());
+    }
+}

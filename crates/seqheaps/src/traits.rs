@@ -1,0 +1,66 @@
+//! The common interface implemented by every sequential baseline.
+
+use crate::stats::OpStats;
+
+/// A meldable priority queue over keys of type `K`.
+///
+/// This mirrors Definition 1 of the paper: `Make-Queue` is [`MeldableHeap::new`],
+/// plus `Insert`, `Min`, `Extract-Min` and `Union` (here called
+/// [`MeldableHeap::meld`], consuming the second queue as the paper's Union
+/// destroys its arguments).
+pub trait MeldableHeap<K: Ord> {
+    /// `Make-Queue`: create an empty queue.
+    fn new() -> Self;
+
+    /// Number of live keys stored.
+    fn len(&self) -> usize;
+
+    /// Whether the queue holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `Insert(Q, x)`: add a key.
+    fn insert(&mut self, key: K);
+
+    /// `Min(Q)`: the minimum key, if any, without removing it.
+    fn min(&self) -> Option<&K>;
+
+    /// `Extract-Min(Q)`: remove and return the minimum key.
+    fn extract_min(&mut self) -> Option<K>;
+
+    /// `Union(Q1, Q2)`: absorb all keys of `other` into `self`, destroying
+    /// `other` (by move).
+    fn meld(&mut self, other: Self);
+
+    /// Instrumentation counters accumulated so far.
+    fn stats(&self) -> &OpStats;
+
+    /// Reset instrumentation counters.
+    fn reset_stats(&mut self);
+
+    /// Drain the queue into a sorted vector (ascending). Convenience used by
+    /// tests and heapsort-style examples.
+    fn into_sorted_vec(mut self) -> Vec<K>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(k) = self.extract_min() {
+            out.push(k);
+        }
+        out
+    }
+
+    /// Build a queue from an iterator of keys.
+    fn from_iter_keys<I: IntoIterator<Item = K>>(iter: I) -> Self
+    where
+        Self: Sized,
+    {
+        let mut h = Self::new();
+        for k in iter {
+            h.insert(k);
+        }
+        h
+    }
+}

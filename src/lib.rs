@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Facade crate re-exporting the full reproduction workspace.
+pub use dmpq;
+pub use hypercube;
+pub use meldpq;
+pub use parscan;
+pub use pram;
+pub use seqheaps;

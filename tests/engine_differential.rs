@@ -1,0 +1,84 @@
+//! Property-based differential tests: the three Union engines must produce
+//! bit-identical plans, and the plans must obey the union–addition
+//! isomorphism, on arbitrary inputs.
+
+use meldpq::engine_pram::build_plan_pram;
+use meldpq::engine_rayon::build_plan_rayon;
+use meldpq::plan::{build_plan_seq, plan_width, RootRef};
+use meldpq::NodeId;
+use proptest::prelude::*;
+
+fn side(n: usize, width: usize, keys: &[i64], base: u32) -> Vec<Option<RootRef>> {
+    let mut k = keys.iter().copied().cycle();
+    (0..width)
+        .map(|i| {
+            (n >> i & 1 == 1).then(|| RootRef {
+                key: k.next().expect("cycle"),
+                id: NodeId(base + i as u32),
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn three_engines_agree(
+        n1 in 0usize..1_000_000,
+        n2 in 0usize..1_000_000,
+        keys in proptest::collection::vec(any::<i64>().prop_map(|k| k.clamp(i64::MIN + 1, i64::MAX - 1)), 1..64),
+        p in 1usize..8,
+    ) {
+        let width = plan_width(n1, n2);
+        let h1 = side(n1, width, &keys, 0);
+        let h2 = side(n2, width, &keys[keys.len() / 2..].iter().chain(&keys).copied().collect::<Vec<_>>(), 10_000);
+        let seq = build_plan_seq(&h1, &h2);
+        let ray = build_plan_rayon(&h1, &h2);
+        prop_assert_eq!(&seq, &ray, "rayon diverged");
+        let pram = build_plan_pram(&h1, &h2, p).expect("EREW-legal");
+        prop_assert_eq!(&seq, &pram.plan, "pram diverged");
+        seq.validate().expect("structurally sound");
+
+        // Union-addition isomorphism.
+        let result: usize = seq
+            .new_roots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| 1usize << i)
+            .sum();
+        prop_assert_eq!(result, n1 + n2);
+    }
+
+    /// The melded heap preserves every key and all invariants under random
+    /// engine choices.
+    #[test]
+    fn meld_preserves_multiset(
+        a in proptest::collection::vec(-1000i64..1000, 0..300),
+        b in proptest::collection::vec(-1000i64..1000, 0..300),
+        use_rayon in any::<bool>(),
+    ) {
+        use meldpq::{Engine, ParBinomialHeap};
+        let engine = if use_rayon { Engine::Rayon } else { Engine::Sequential };
+        let mut h = ParBinomialHeap::from_keys(a.iter().copied());
+        h.meld(ParBinomialHeap::from_keys(b.iter().copied()), engine);
+        h.validate().expect("valid");
+        let mut expected: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(h.into_sorted_vec(), expected);
+    }
+
+    /// PRAM Min agrees with the host min on arbitrary root arrays.
+    #[test]
+    fn pram_min_agrees(
+        n in 1usize..100_000,
+        keys in proptest::collection::vec(-1_000_000i64..1_000_000, 1..40),
+    ) {
+        let width = plan_width(n, 0).max(1);
+        let roots = side(n, width, &keys, 0);
+        let (got, _) = meldpq::engine_pram::min_pram(&roots, 3).expect("legal");
+        let want = roots.iter().flatten().map(|r| r.key).min();
+        prop_assert_eq!(got.map(|r| r.key), want);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shape assertions for the theorem experiments (small scale — the full
+//! sweeps live in the `report_*` binaries; these tests pin the *direction*
+//! of every claim so regressions are caught by `cargo test`).
+
+use bench::experiments::{ablation_a1, ablation_a3, theorem1, theorem2, theorem3};
+use bench::workloads::theorem_p;
+
+/// Theorem 1: at fixed n, time falls monotonically with p; work stays
+/// within a constant of the sequential total; at p*, time/loglog is flat.
+#[test]
+fn t1_parallel_time_falls_and_work_stays_optimal() {
+    for bits in [10usize, 16, 22] {
+        let rows = theorem1(&[bits], &[1, 2, 4, 8]);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].time <= w[0].time,
+                "time must not grow with p (bits={bits})"
+            );
+        }
+        let t1 = rows[0].time;
+        for r in &rows {
+            assert!(r.work <= 2 * t1, "work blow-up at p={}", r.p);
+        }
+    }
+}
+
+/// Theorem 1's headline: time at p* = log n / log log n grows like
+/// log log n, NOT like log n. Quadrupling the bit-width (16 → 64 ... we use
+/// 7 → 28) should much less than quadruple the time.
+#[test]
+fn t1_time_grows_sublogarithmically_at_pstar() {
+    let small_bits = 7usize;
+    let big_bits = 28usize; // 4x the log n
+    let t_small = theorem1(&[small_bits], &[theorem_p((1 << small_bits) - 1)])[0].time;
+    let t_big = theorem1(&[big_bits], &[theorem_p((1 << big_bits) - 1)])[0].time;
+    let ratio = t_big as f64 / t_small as f64;
+    assert!(
+        ratio < 2.5,
+        "4x log n should cost << 4x time at p* (got {ratio:.2})"
+    );
+}
+
+/// Theorem 2: amortized delete time normalised by log log n stays bounded
+/// while n spans 2^8..2^14.
+#[test]
+fn t2_amortized_time_tracks_loglog() {
+    let rows = theorem2(&[1 << 8, 1 << 11, 1 << 14]);
+    let normalised: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            let log = (usize::BITS - r.n.leading_zeros()) as f64;
+            r.amortized_time / log.log2()
+        })
+        .collect();
+    let max = normalised.iter().cloned().fold(0.0, f64::max);
+    let min = normalised.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 4.0,
+        "amortized/loglog must stay within a small constant band: {normalised:?}"
+    );
+}
+
+/// Theorem 3 / A4: amortized per-op communication falls monotonically as the
+/// bandwidth grows through the sweep.
+#[test]
+fn t3_bandwidth_amortization() {
+    let rows = theorem3(2, &[1, 4, 16, 64], 128);
+    for w in rows.windows(2) {
+        assert!(
+            w[1].amortized_time < w[0].amortized_time,
+            "amortized cost must fall with b: {} !< {}",
+            w[1].amortized_time,
+            w[0].amortized_time
+        );
+    }
+    // But each multi-op gets more expensive (it moves b-word payloads).
+    assert!(rows.last().expect("rows").per_multiop_time > rows[0].per_multiop_time);
+}
+
+/// A1: the planned union's parallel depth beats the ripple chain ever more
+/// as n grows.
+#[test]
+fn a1_depth_gap_widens() {
+    let rows = ablation_a1(&[8, 20]);
+    let gap_small = rows[0].ripple_chain as f64 / rows[0].pram_time as f64;
+    let gap_big = rows[1].ripple_chain as f64 / rows[1].pram_time as f64;
+    // With simulator constants the ratio is < 1 in absolute terms, but must
+    // IMPROVE with n (log n grows, log log n barely moves).
+    assert!(
+        gap_big > gap_small,
+        "depth advantage must widen: {gap_small:.3} -> {gap_big:.3}"
+    );
+}
+
+/// A3: the Gray-code mapping moves promoted roots exactly one hop; the
+/// identity mapping pays strictly more on every cube size.
+#[test]
+fn a3_gray_mapping_is_strictly_better() {
+    for r in ablation_a3(&[1, 2, 3, 4, 5, 6], 128) {
+        assert_eq!(r.gray_hops, 128, "q={}", r.q);
+        if r.q >= 2 {
+            assert!(r.identity_hops > r.gray_hops, "q={}", r.q);
+        }
+    }
+}
