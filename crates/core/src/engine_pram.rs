@@ -425,7 +425,10 @@ mod tests {
             key: i64::MAX,
             id: NodeId(0),
         })];
-        let h2 = vec![Some(RootRef { key: 5, id: NodeId(1) })];
+        let h2 = vec![Some(RootRef {
+            key: 5,
+            id: NodeId(1),
+        })];
         let _ = build_plan_pram(&h1, &h2, 2);
     }
 

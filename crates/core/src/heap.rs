@@ -49,6 +49,17 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
         Self::default()
     }
 
+    /// With `--features debug-validate`, run the deep `meldpq::check` pass
+    /// and panic on the first violation; a no-op otherwise. Called after
+    /// every hot-path mutation.
+    #[inline]
+    pub(crate) fn debug_validate(&self) {
+        #[cfg(feature = "debug-validate")]
+        if let Err(e) = crate::check::check_heap(self) {
+            panic!("debug-validate (ParBinomialHeap): {e}");
+        }
+    }
+
     /// Build from keys by repeated insertion (sequential engine).
     pub fn from_keys<I: IntoIterator<Item = K>>(keys: I) -> Self {
         let mut h = Self::new();
@@ -155,6 +166,7 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
         }
         let residual_roots: Vec<Option<NodeId>> = children.into_iter().map(Some).collect();
         self.meld_roots_in_arena(residual_roots, child_count, engine);
+        self.debug_validate();
         Some(key)
     }
 
@@ -199,8 +211,13 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             Engine::Sequential => build_plan_seq(&h1, &h2),
             Engine::Rayon => crate::engine_rayon::build_plan_rayon(&h1, &h2),
         };
+        #[cfg(feature = "debug-validate")]
+        if let Err(e) = crate::check::check_plan(&plan) {
+            panic!("debug-validate (UnionPlan): {e}");
+        }
         self.apply_plan(&plan);
         self.len = n1 + n2;
+        self.debug_validate();
     }
 }
 
@@ -235,6 +252,7 @@ impl ParBinomialHeap<i64> {
             .expect("the Union program is EREW-legal");
         self.apply_plan(&out.plan);
         self.len += other_len;
+        self.debug_validate();
         out.cost
     }
 
@@ -288,6 +306,7 @@ impl ParBinomialHeap<i64> {
             self.roots = children.into_iter().map(Some).collect();
         }
         self.len += child_count;
+        self.debug_validate();
         (Some(key), reduce_cost + union_cost)
     }
 }

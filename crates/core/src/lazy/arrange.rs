@@ -147,6 +147,7 @@ impl LazyBinomialHeap {
 
         self.cost_log.push((OpKind::ArrangeHeap, meter.total()));
         debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
+        self.debug_validate();
     }
 }
 

@@ -180,6 +180,17 @@ impl LazyBinomialHeap {
         self.auto_arrange = on;
     }
 
+    /// With `--features debug-validate`, run the deep `meldpq::check` pass
+    /// and panic on the first violation; a no-op otherwise. Called after
+    /// every hot-path mutation.
+    #[inline]
+    pub(crate) fn debug_validate(&self) {
+        #[cfg(feature = "debug-validate")]
+        if let Err(e) = crate::check::check_lazy(self) {
+            panic!("debug-validate (LazyBinomialHeap): {e}");
+        }
+    }
+
     /// Number of live keys.
     pub fn len(&self) -> usize {
         self.live_len
@@ -401,6 +412,7 @@ impl LazyBinomialHeap {
         self.roots = roots;
         self.live_len += 1;
         self.cost_log.push((OpKind::Insert, cost));
+        self.debug_validate();
         id
     }
 
@@ -449,6 +461,7 @@ impl LazyBinomialHeap {
         self.roots = roots;
         self.live_len -= 1;
         self.cost_log.push((OpKind::ExtractMin, cost));
+        self.debug_validate();
         node.key
     }
 
@@ -497,6 +510,7 @@ impl LazyBinomialHeap {
         if self.deleted_since_arrange >= self.arrange_threshold() {
             self.arrange_heap();
         }
+        self.debug_validate();
     }
 
     /// `Delete(Q, x)`. Roots are handled like `Extract-Min`; internal nodes
@@ -516,6 +530,7 @@ impl LazyBinomialHeap {
         if self.auto_arrange && self.deleted_since_arrange >= self.arrange_threshold() {
             self.arrange_heap();
         }
+        self.debug_validate();
         key
     }
 

@@ -35,6 +35,7 @@
 pub mod arena;
 pub mod build;
 pub mod bulk;
+pub mod check;
 pub mod engine_pram;
 pub mod engine_rayon;
 pub mod heap;
@@ -43,5 +44,6 @@ pub mod plan;
 pub mod viz;
 
 pub use arena::{Arena, Node, NodeId};
+pub use check::CheckedPq;
 pub use heap::{Engine, ParBinomialHeap};
 pub use plan::{LinkOp, PointType, RootRef, UnionPlan};

@@ -14,6 +14,27 @@
 //! the differential tests require bit-identical plans. This module holds the
 //! *sequential oracle* implementation plus the shared per-position logic the
 //! parallel engines reuse.
+//!
+//! # Tie-breaking contract (equal keys)
+//!
+//! Plans are only comparable across engines if equal keys resolve the same
+//! way everywhere, so the workspace fixes **one** rule: *the first/left
+//! operand wins ties*. Concretely:
+//!
+//! * [`position_winner`]: on `h1.key == h2.key` the **h1** root wins (the
+//!   comparison is strict — `y.key < x.key` — so `x`, the first operand,
+//!   survives ties);
+//! * [`seg_combine`]: on equal keys the **left** (lower-position prefix)
+//!   operand wins, again via a strict comparison on the right operand;
+//! * `engine_pram` implements the identical rule arithmetically: the
+//!   Phase II seed picks h1 on `a_key <= b_key`, and the tuple scan keeps
+//!   the left tuple unless the right key is strictly smaller.
+//!
+//! Consequences: with all-equal keys the dominant root of every fragment is
+//! the *lowest-position* candidate, preferring **h1** at its seed position,
+//! and the three engines emit bit-identical plans — enforced by the
+//! duplicate-key regression tests in `tests/engine_differential.rs` and
+//! continuously by the differential fuzzer.
 
 use crate::arena::NodeId;
 
@@ -336,7 +357,10 @@ pub fn build_plan_seq<K: Ord + Copy>(
 
 impl<K> UnionPlan<K> {
     /// Structural sanity: `H[i]` occupied exactly when `s_i = 1`; every link
-    /// slot below width; chains produce one more link than their length-1.
+    /// slot below width, self-loop-free and strictly ascending (each bit
+    /// position emits at most one link, and `apply_plan` relies on the order
+    /// to keep child vectors dense); chains produce one more link than their
+    /// length-1.
     pub fn validate(&self) -> Result<(), String> {
         for i in 0..self.width {
             if self.s[i] != self.new_roots[i].is_some() {
@@ -350,6 +374,24 @@ impl<K> UnionPlan<K> {
                     }
                 ));
             }
+        }
+        for (k, l) in self.links.iter().enumerate() {
+            if l.slot >= self.width {
+                return Err(format!(
+                    "link {k}: slot {} outside width {}",
+                    l.slot, self.width
+                ));
+            }
+            if l.child == l.parent {
+                return Err(format!("link {k}: self-link at {:?}", l.child));
+            }
+        }
+        if let Some(w) = self.links.windows(2).position(|w| w[0].slot >= w[1].slot) {
+            return Err(format!(
+                "links out of order: slot {} at index {w} then slot {}",
+                self.links[w].slot,
+                self.links[w + 1].slot
+            ));
         }
         // Total links = number of positions with both trees (g) + chain
         // continuations (internal/ending points).

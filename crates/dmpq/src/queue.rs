@@ -144,6 +144,48 @@ impl DistributedPq {
         &self.heap
     }
 
+    /// Verify the queue's cross-component invariants:
+    ///
+    /// * the b-binomial heap's own structure and chunk order;
+    /// * `Forehead` is sorted ascending;
+    /// * every `Forehead` item is ≤ every key in `H` (otherwise an extract
+    ///   could return a buffered item ahead of a smaller key still in the
+    ///   heap);
+    /// * `Waiting` holds fewer than `b` items between operations (a full
+    ///   chunk always flushes).
+    ///
+    /// Also reachable through `meldpq::check::CheckedPq`, which harnesses
+    /// use to validate heterogeneous queue fleets uniformly.
+    pub fn validate(&self) -> Result<(), String> {
+        self.heap.validate()?;
+        self.heap.validate_chunk_order()?;
+        if let Some(w) = self
+            .forehead
+            .iter()
+            .zip(self.forehead.iter().skip(1))
+            .position(|(a, b)| a > b)
+        {
+            return Err(format!("Forehead not sorted at index {w}"));
+        }
+        if let (Some(&fmax), Some(&hmin)) =
+            (self.forehead.back(), self.heap.all_keys().iter().min())
+        {
+            if hmin < fmax {
+                return Err(format!(
+                    "Forehead invariant broken: buffered {fmax} but H holds {hmin}"
+                ));
+            }
+        }
+        if self.waiting.len() >= self.b.max(1) {
+            return Err(format!(
+                "Waiting holds {} items at bandwidth {}",
+                self.waiting.len(),
+                self.b
+            ));
+        }
+        Ok(())
+    }
+
     /// `Insert(Q, x)`: buffer in `Waiting`; flush `b` at a time.
     pub fn insert(&mut self, key: i64) {
         assert!(key < i64::MAX, "i64::MAX is the pad sentinel");
@@ -714,6 +756,12 @@ impl DistributedPq {
             self.heap.get_mut(*r).parent = None;
         }
         out
+    }
+}
+
+impl meldpq::CheckedPq for DistributedPq {
+    fn check_invariants(&self) -> Result<(), String> {
+        self.validate()
     }
 }
 

@@ -1,0 +1,312 @@
+//! Seeded differential fuzzer: every engine in the workspace runs the same
+//! random operation program in lockstep and must agree at every step.
+//!
+//! Two fleets:
+//!
+//! * [`all_engines_agree_on_mixed_programs`] drives the five meldable-queue
+//!   engines — `ParBinomialHeap` under the sequential oracle engine, under
+//!   rayon, and under the measured EREW PRAM planner, `LazyBinomialHeap`,
+//!   and `dmpq::DistributedPq` — against a sorted-vector oracle over mixed
+//!   insert / meld / extract-min / min programs. Keys are drawn from a
+//!   narrow band (`-64..64`) so duplicate keys are common and tie-breaking
+//!   divergence cannot hide.
+//! * [`lazy_delete_programs_match_multiset_oracle`] adds `Delete` and
+//!   `Change-Key` (which only the lazy structure supports) and checks the
+//!   lazy heap against a multiset oracle. Handles may be invalidated by
+//!   `Arrange-Heap` rebuilds, so victims are chosen among handles that
+//!   still name live nodes — any live arena node is a real element, which
+//!   keeps the multiset comparison sound under handle reuse.
+//!
+//! Every eighth step each structure re-verifies its invariants through
+//! `meldpq::check::CheckedPq`; at program end all engines drain and must
+//! produce the oracle's sorted key sequence. Failing programs shrink to
+//! minimal reproducers (the harness removes and simplifies ops greedily)
+//! and report the seed, so failures replay deterministically.
+
+use dmpq::DistributedPq;
+use meldpq::lazy::LazyBinomialHeap;
+use meldpq::{CheckedPq, Engine, NodeId, ParBinomialHeap};
+use proptest::prelude::*;
+
+/// One step of a differential program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert one key everywhere.
+    Insert(i64),
+    /// Extract the minimum everywhere; all results must agree.
+    ExtractMin,
+    /// Read the minimum everywhere; all results must agree.
+    Min,
+    /// Meld in a fresh heap built from these keys.
+    Meld(Vec<i64>),
+    /// (Lazy fleet only) delete the `i % candidates`-th live handle.
+    Delete(usize),
+    /// (Lazy fleet only) change that handle's key to the given value.
+    ChangeKey(usize, i64),
+}
+
+fn key_strategy() -> impl Strategy<Value = i64> {
+    // Narrow band: collisions every few ops, so equal-key tie-breaking is
+    // exercised constantly.
+    -64i64..64
+}
+
+fn mixed_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => key_strategy().prop_map(Op::Insert),
+        3 => Just(Op::ExtractMin),
+        1 => Just(Op::Min),
+        1 => proptest::collection::vec(key_strategy(), 0..10).prop_map(Op::Meld),
+    ]
+}
+
+fn lazy_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => key_strategy().prop_map(Op::Insert),
+        2 => Just(Op::ExtractMin),
+        1 => Just(Op::Min),
+        2 => any::<usize>().prop_map(Op::Delete),
+        2 => (any::<usize>(), key_strategy()).prop_map(|(i, k)| Op::ChangeKey(i, k)),
+        1 => proptest::collection::vec(key_strategy(), 0..8).prop_map(Op::Meld),
+    ]
+}
+
+/// Sorted-vector oracle: the trivially correct meldable priority queue.
+#[derive(Default)]
+struct Oracle {
+    keys: Vec<i64>,
+}
+
+impl Oracle {
+    fn insert(&mut self, k: i64) {
+        let at = self.keys.partition_point(|&x| x <= k);
+        self.keys.insert(at, k);
+    }
+    fn extract_min(&mut self) -> Option<i64> {
+        if self.keys.is_empty() {
+            None
+        } else {
+            Some(self.keys.remove(0))
+        }
+    }
+    fn min(&self) -> Option<i64> {
+        self.keys.first().copied()
+    }
+    fn remove_one(&mut self, k: i64) -> bool {
+        match self.keys.binary_search(&k) {
+            Ok(i) => {
+                self.keys.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// The five engines driven in lockstep by the mixed-program fleet.
+struct Fleet {
+    seq: ParBinomialHeap,
+    ray: ParBinomialHeap,
+    pram: ParBinomialHeap,
+    lazy: LazyBinomialHeap,
+    dist: DistributedPq,
+    oracle: Oracle,
+    p: usize,
+    q: usize,
+}
+
+impl Fleet {
+    fn new(p: usize, q: usize, b: usize) -> Self {
+        Fleet {
+            seq: ParBinomialHeap::new(),
+            ray: ParBinomialHeap::new(),
+            pram: ParBinomialHeap::new(),
+            lazy: LazyBinomialHeap::new(p),
+            dist: DistributedPq::new(q, b),
+            oracle: Oracle::default(),
+            p,
+            q,
+        }
+    }
+
+    fn insert(&mut self, k: i64) {
+        self.seq
+            .meld(ParBinomialHeap::from_keys([k]), Engine::Sequential);
+        self.ray
+            .meld(ParBinomialHeap::from_keys([k]), Engine::Rayon);
+        self.pram.insert_measured(k, self.p);
+        self.lazy.insert(k);
+        self.dist.insert(k);
+        self.oracle.insert(k);
+    }
+
+    fn meld_keys(&mut self, keys: &[i64]) {
+        self.seq.meld(
+            ParBinomialHeap::from_keys(keys.iter().copied()),
+            Engine::Sequential,
+        );
+        self.ray.meld(
+            ParBinomialHeap::from_keys(keys.iter().copied()),
+            Engine::Rayon,
+        );
+        self.pram
+            .meld_measured(ParBinomialHeap::from_keys(keys.iter().copied()), self.p);
+        self.lazy.meld(LazyBinomialHeap::from_keys_fast(
+            self.p,
+            keys.iter().copied(),
+        ));
+        let mut incoming = DistributedPq::new(self.q, self.dist.b);
+        for &k in keys {
+            incoming.insert(k);
+        }
+        self.dist.meld(incoming);
+        for &k in keys {
+            self.oracle.insert(k);
+        }
+    }
+
+    fn check_all(&self) -> Result<(), String> {
+        self.seq
+            .check_invariants()
+            .map_err(|e| format!("seq: {e}"))?;
+        self.ray
+            .check_invariants()
+            .map_err(|e| format!("rayon: {e}"))?;
+        self.pram
+            .check_invariants()
+            .map_err(|e| format!("pram: {e}"))?;
+        self.lazy
+            .check_invariants()
+            .map_err(|e| format!("lazy: {e}"))?;
+        self.dist
+            .check_invariants()
+            .map_err(|e| format!("dist: {e}"))?;
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_engines_agree_on_mixed_programs(
+        ops in proptest::collection::vec(mixed_op_strategy(), 0..40),
+        p in 1usize..5,
+    ) {
+        let mut fleet = Fleet::new(p, 2, 4);
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => fleet.insert(*k),
+                Op::ExtractMin => {
+                    let want = fleet.oracle.extract_min();
+                    let seq = fleet.seq.extract_min(Engine::Sequential);
+                    let ray = fleet.ray.extract_min(Engine::Rayon);
+                    let pram = fleet.pram.extract_min_measured(p).0;
+                    let lazy = fleet.lazy.extract_min();
+                    let dist = fleet.dist.extract_min();
+                    prop_assert_eq!(seq, want, "seq extract at step {}", step);
+                    prop_assert_eq!(ray, want, "rayon extract at step {}", step);
+                    prop_assert_eq!(pram, want, "pram extract at step {}", step);
+                    prop_assert_eq!(lazy, want, "lazy extract at step {}", step);
+                    prop_assert_eq!(dist, want, "dist extract at step {}", step);
+                }
+                Op::Min => {
+                    let want = fleet.oracle.min();
+                    prop_assert_eq!(fleet.seq.min(), want, "seq min at step {}", step);
+                    prop_assert_eq!(fleet.ray.min(), want, "rayon min at step {}", step);
+                    prop_assert_eq!(fleet.pram.min(), want, "pram min at step {}", step);
+                    prop_assert_eq!(fleet.lazy.min(), want, "lazy min at step {}", step);
+                    prop_assert_eq!(fleet.dist.min(), want, "dist min at step {}", step);
+                }
+                Op::Meld(keys) => fleet.meld_keys(keys),
+                // Mixed fleet runs no handle ops.
+                Op::Delete(_) | Op::ChangeKey(_, _) => unreachable!(),
+            }
+            if step % 8 == 7 {
+                if let Err(e) = fleet.check_all() {
+                    panic!("invariants broken after step {step}: {e}");
+                }
+            }
+        }
+        if let Err(e) = fleet.check_all() {
+            panic!("invariants broken after final step: {e}");
+        }
+        // Drain everything; all engines must produce the oracle's sequence.
+        let want = fleet.oracle.keys.clone();
+        prop_assert_eq!(fleet.seq.into_sorted_vec(), want.clone(), "seq drain");
+        prop_assert_eq!(fleet.ray.into_sorted_vec(), want.clone(), "rayon drain");
+        prop_assert_eq!(fleet.pram.into_sorted_vec(), want.clone(), "pram drain");
+        prop_assert_eq!(fleet.lazy.into_sorted_vec(), want.clone(), "lazy drain");
+        prop_assert_eq!(fleet.dist.into_sorted_vec(), want, "dist drain");
+    }
+
+    #[test]
+    fn lazy_delete_programs_match_multiset_oracle(
+        ops in proptest::collection::vec(lazy_op_strategy(), 0..48),
+        p in 1usize..5,
+    ) {
+        let mut heap = LazyBinomialHeap::new(p);
+        let mut oracle = Oracle::default();
+        let mut handles: Vec<NodeId> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    handles.push(heap.insert(*k));
+                    oracle.insert(*k);
+                }
+                Op::ExtractMin => {
+                    let got = heap.extract_min();
+                    let want = oracle.extract_min();
+                    prop_assert_eq!(got, want, "extract at step {}", step);
+                }
+                Op::Min => {
+                    prop_assert_eq!(heap.min(), oracle.min(), "min at step {}", step);
+                }
+                Op::Meld(keys) => {
+                    // Melding invalidates the other heap's handles, so the
+                    // incoming keys are only reachable via extract-min —
+                    // fine for the multiset semantics under test.
+                    heap.meld(LazyBinomialHeap::from_keys_fast(p, keys.iter().copied()));
+                    for &k in keys {
+                        oracle.insert(k);
+                    }
+                }
+                Op::Delete(raw) | Op::ChangeKey(raw, _) => {
+                    // Arrange-Heap may invalidate handles; a live arena node
+                    // is a real element whatever its history, so filtering
+                    // to live handles keeps the oracle comparison sound.
+                    handles.retain(|id| heap.node_exists(*id) && !heap.is_empty_node(*id));
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let victim = handles.swap_remove(raw % handles.len());
+                    let removed = match op {
+                        Op::Delete(_) => heap.delete(victim),
+                        Op::ChangeKey(_, k) => {
+                            let old = heap.delete(victim);
+                            handles.push(heap.insert(*k));
+                            oracle.insert(*k);
+                            old
+                        }
+                        _ => unreachable!(),
+                    };
+                    prop_assert!(
+                        oracle.remove_one(removed),
+                        "deleted key {} absent from oracle at step {}",
+                        removed,
+                        step
+                    );
+                }
+            }
+            if step % 8 == 7 {
+                if let Err(e) = heap.check_invariants() {
+                    panic!("lazy invariants broken after step {step}: {e}");
+                }
+            }
+        }
+        if let Err(e) = heap.check_invariants() {
+            panic!("lazy invariants broken after final step: {e}");
+        }
+        prop_assert_eq!(heap.into_sorted_vec(), oracle.keys, "final drain");
+    }
+}

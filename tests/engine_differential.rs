@@ -69,6 +69,72 @@ proptest! {
         prop_assert_eq!(h.into_sorted_vec(), expected);
     }
 
+    /// Duplicate keys: with keys drawn from a two-value set, equal-key
+    /// ties happen at almost every position, and the tie-breaking contract
+    /// (first/left operand wins — see `meldpq::plan` docs) must keep all
+    /// three engines bit-identical.
+    #[test]
+    fn three_engines_agree_on_duplicate_keys(
+        n1 in 0usize..100_000,
+        n2 in 0usize..100_000,
+        bits in proptest::collection::vec(any::<bool>(), 1..64),
+        p in 1usize..8,
+    ) {
+        let keys: Vec<i64> = bits.iter().map(|&b| b as i64).collect();
+        let width = plan_width(n1, n2);
+        let h1 = side(n1, width, &keys, 0);
+        let h2 = side(n2, width, &keys, 10_000);
+        let seq = build_plan_seq(&h1, &h2);
+        let ray = build_plan_rayon(&h1, &h2);
+        prop_assert_eq!(&seq, &ray, "rayon diverged on duplicates");
+        let pram = build_plan_pram(&h1, &h2, p).expect("EREW-legal");
+        prop_assert_eq!(&seq, &pram.plan, "pram diverged on duplicates");
+        seq.validate().expect("structurally sound");
+    }
+
+    /// All-equal keys, the extreme of the previous test: every comparison
+    /// is a tie, so the plan is decided purely by the contract. Checks the
+    /// documented consequence directly: wherever both heaps hold a tree,
+    /// the h1 root wins, and every fragment's dominant root is its
+    /// lowest-position candidate.
+    #[test]
+    fn tie_break_contract_holds_on_all_equal_keys(
+        n1 in 1usize..100_000,
+        n2 in 1usize..100_000,
+        p in 1usize..8,
+    ) {
+        let width = plan_width(n1, n2);
+        let keys = [7i64];
+        let h1 = side(n1, width, &keys, 0);
+        let h2 = side(n2, width, &keys, 10_000);
+        let seq = build_plan_seq(&h1, &h2);
+        let ray = build_plan_rayon(&h1, &h2);
+        let pram = build_plan_pram(&h1, &h2, p).expect("EREW-legal");
+        prop_assert_eq!(&seq, &ray);
+        prop_assert_eq!(&seq, &pram.plan);
+        // Indexing four parallel vectors; an iterator over one obscures that.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..width {
+            // Rule at the seed: h1 wins the position on a tie.
+            if let (Some(a), Some(w)) = (h1[i], seq.i_value_b[i]) {
+                prop_assert_eq!(w.id, a.id, "position {} winner must be h1's root", i);
+            }
+            // Rule along the scan: the dominant root never moves to a
+            // higher position on equal keys.
+            if let (Some(prev), Some(dom)) = (
+                (i > 0).then(|| seq.i_value_a[i - 1]).flatten(),
+                seq.i_value_a[i],
+            ) {
+                if !seq.i_lim[i] {
+                    prop_assert_eq!(
+                        dom.id, prev.id,
+                        "dominant must stay leftmost within a fragment (position {})", i
+                    );
+                }
+            }
+        }
+    }
+
     /// PRAM Min agrees with the host min on arbitrary root arrays.
     #[test]
     fn pram_min_agrees(

@@ -1,0 +1,114 @@
+//! Property coverage for `UnionPlan::validate` under random presence
+//! vectors: every honestly-built plan must pass, the arithmetic
+//! consequences (link count, `s[i] ↔ H[i]` agreement, ascending slot
+//! order) must hold directly, and targeted corruptions must be rejected.
+
+use meldpq::plan::{build_plan_seq, plan_width, RootRef};
+use meldpq::NodeId;
+use proptest::prelude::*;
+
+fn side(n: usize, width: usize, keys: &[i64], base: u32) -> Vec<Option<RootRef>> {
+    let mut k = keys.iter().copied().cycle();
+    (0..width)
+        .map(|i| {
+            (n >> i & 1 == 1).then(|| RootRef {
+                key: k.next().expect("cycle"),
+                id: NodeId(base + i as u32),
+            })
+        })
+        .collect()
+}
+
+fn random_plan(n1: usize, n2: usize, keys: &[i64]) -> meldpq::plan::UnionPlan {
+    let width = plan_width(n1, n2);
+    build_plan_seq(&side(n1, width, keys, 0), &side(n2, width, keys, 10_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Honest plans over arbitrary presence vectors always validate, and
+    /// the binary-addition consequences hold position by position.
+    #[test]
+    fn honest_plans_validate(
+        n1 in 0usize..1_000_000,
+        n2 in 0usize..1_000_000,
+        keys in proptest::collection::vec(-1000i64..1000, 1..32),
+    ) {
+        let plan = random_plan(n1, n2, &keys);
+        plan.validate().expect("honest plan must validate");
+
+        // Link count: each link fuses two trees into one, so the number of
+        // links is exactly the drop in tree count across the union.
+        let pc = |n: usize| n.count_ones() as usize;
+        prop_assert_eq!(plan.links.len(), pc(n1) + pc(n2) - pc(n1 + n2));
+
+        // s[i] ↔ H[i] agreement: the sum bit says exactly where the melded
+        // heap holds a tree.
+        for i in 0..plan.width {
+            prop_assert_eq!(plan.s[i], plan.new_roots[i].is_some(), "position {}", i);
+        }
+
+        // Slot order: Phase III emits links in strictly ascending slots, so
+        // the parallel link round touches each slot once (EREW-safe).
+        for w in plan.links.windows(2) {
+            prop_assert!(w[0].slot < w[1].slot, "slots must strictly ascend");
+        }
+    }
+
+    /// Corrupting the sum bits must be caught by validate.
+    #[test]
+    fn flipped_sum_bit_is_rejected(
+        n1 in 1usize..1_000_000,
+        n2 in 0usize..1_000_000,
+        keys in proptest::collection::vec(-1000i64..1000, 1..16),
+        pos in 0usize..32,
+    ) {
+        let mut plan = random_plan(n1, n2, &keys);
+        if plan.width == 0 {
+            return;
+        }
+        let i = pos % plan.width;
+        plan.s[i] = !plan.s[i];
+        prop_assert!(plan.validate().is_err(), "flipped s[{}] must fail", i);
+    }
+
+    /// Reordering or duplicating link slots must be caught by validate.
+    #[test]
+    fn disordered_link_slots_are_rejected(
+        n1 in 0usize..1_000_000,
+        n2 in 0usize..1_000_000,
+        keys in proptest::collection::vec(-1000i64..1000, 1..16),
+        how in 0usize..2,
+    ) {
+        let mut plan = random_plan(n1, n2, &keys);
+        if plan.links.len() < 2 {
+            return;
+        }
+        match how {
+            // Swap the first two links: slots now descend.
+            0 => plan.links.swap(0, 1),
+            // Duplicate a slot: order is no longer strict.
+            _ => {
+                let l0 = plan.links[0];
+                plan.links[1] = l0;
+            }
+        }
+        prop_assert!(plan.validate().is_err(), "bad slot order must fail");
+    }
+
+    /// Dropping a link breaks the expected-link-count check.
+    #[test]
+    fn missing_link_is_rejected(
+        n1 in 0usize..1_000_000,
+        n2 in 0usize..1_000_000,
+        keys in proptest::collection::vec(-1000i64..1000, 1..16),
+    ) {
+        let mut plan = random_plan(n1, n2, &keys);
+        if plan.links.is_empty() {
+            return;
+        }
+        plan.links.pop();
+        prop_assert!(plan.validate().is_err(), "missing link must fail");
+    }
+}

@@ -9,7 +9,14 @@ use meldpq::{Engine, NodeId, ParBinomialHeap};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use seqheaps::{BinomialHeap, LeftistHeap, MeldableHeap, PairingHeap, SkewHeap};
 
-const STEPS: usize = 2_500;
+/// Default step count; override with `SOAK_STEPS` (the nightly CI job runs
+/// 50_000).
+fn steps() -> usize {
+    std::env::var("SOAK_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_500)
+}
 
 struct Fleet {
     oracle: Vec<i64>,
@@ -162,7 +169,8 @@ impl Fleet {
 fn soak_every_queue_through_one_long_workload() {
     let mut rng = StdRng::seed_from_u64(0x50AB);
     let mut fleet = Fleet::new();
-    for step in 0..STEPS {
+    let steps = steps();
+    for step in 0..steps {
         match rng.gen_range(0..10) {
             0..=4 => fleet.insert(rng.gen_range(-1_000_000..1_000_000)),
             5..=6 => fleet.extract(),

@@ -1,0 +1,289 @@
+#![forbid(unsafe_code)]
+//! Vendored, offline subset of the `criterion` API.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the criterion surface its benches use: [`Criterion`] with the builder
+//! knobs, [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The shim is a real (if simple) harness: each benchmark is warmed up for
+//! `warm_up_time`, then timed in batches until `measurement_time` elapses or
+//! `sample_size` samples are taken, and the mean/min wall-clock per iteration
+//! is printed. There is no statistical analysis, HTML report, or baseline
+//! comparison — enough to smoke-compile and eyeball relative numbers, not to
+//! publish measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup (accepted, not acted on —
+/// the shim always times routine-only, excluding setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Collected per-iteration means, one per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly; the harness sizes batches to the clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup cost excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: run untimed until the warm-up budget is spent, and learn
+        // a batch size that keeps each timed sample around 1ms.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut iters_done = 0u64;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+            iters_done += 1;
+        }
+        let per_iter = self.config.warm_up_time.as_nanos() as u64 / iters_done.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20);
+
+        let deadline = Instant::now() + self.config.measurement_time;
+        self.samples.clear();
+        while self.samples.len() < self.config.sample_size || self.samples.is_empty() {
+            if Instant::now() >= deadline && !self.samples.is_empty() {
+                break;
+            }
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<40} mean {mean:>12?}  min {min:>12?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark harness entry point (subset of upstream `Criterion`).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Timed measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: &self.config,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's config.
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<D: Display, F>(&mut self, id: D, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.config, &format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<D: Display, I, F>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.config, &format!("{}/{}", self.name, id), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (a no-op in the shim; upstream flushes reports here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    bencher.report(id);
+}
+
+/// Bundle benchmark functions (both upstream forms: the `name = ..; config
+/// = ..; targets = ..` block and the positional list).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        (0..n).fold(0, |acc, x| acc ^ x.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("spin", |b| b.iter(|| spin(100)));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("spin", 64), &64u64, |b, &n| {
+            b.iter_batched(|| n, spin, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        let mut tuned = c
+            .clone()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5));
+        tuned.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_produces_runner() {
+        smoke();
+    }
+}

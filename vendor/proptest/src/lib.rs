@@ -1,0 +1,679 @@
+#![forbid(unsafe_code)]
+//! Vendored, offline subset of the `proptest` API.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the proptest surface it uses: seeded random [`Strategy`] sampling, the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] macros, and greedy
+//! shrinking of failing inputs to a minimal reproducer.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * Sampling is driven by the workspace's vendored `rand` shim
+//!   (xoshiro256++), seeded deterministically from the fully-qualified test
+//!   name. The same binary therefore replays the same cases on every run;
+//!   set `PROPTEST_SEED=<u64>` to explore a different stream and
+//!   `PROPTEST_CASES=<n>` to override the case count.
+//! * Shrinking is greedy first-improvement over strategy-provided candidate
+//!   sets (vector element removal, integers toward zero, tuple coordinates)
+//!   rather than upstream's full value-tree traversal. Reproducers are
+//!   slightly less minimal but failures are still reported with the seed,
+//!   the case index, and the shrunk input.
+//! * No persistence files (`proptest-regressions/`) are written.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use rand::RngCore;
+
+/// The deterministic generator handed to [`Strategy::sample`].
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seed a fresh generator (SplitMix64-expanded, as in the rand shim).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A generator of values of one type, with optional shrinking.
+///
+/// Object-safe: the combinators ([`Strategy::prop_map`], [`Strategy::boxed`])
+/// are `Self: Sized`, so `Box<dyn Strategy<Value = T>>` works — that is what
+/// [`prop_oneof!`] erases its arms to.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, "most aggressive first". An empty
+    /// vector means `v` is already minimal for this strategy.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Transform every sampled value through `f` (shrinking stops at the
+    /// mapped boundary, as the transform is not invertible).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        self.0.shrink(v)
+    }
+}
+
+/// A strategy that always yields a clone of one value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`]'s adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer strategies: ranges and `any`
+// ---------------------------------------------------------------------------
+
+/// Integer shrink candidates: jump to `origin`, then halve the remaining
+/// distance, then step by one. The greedy runner iterates this to a fixpoint,
+/// giving binary-search-like convergence toward the origin.
+fn shrink_int(origin: i128, v: i128) -> Vec<i128> {
+    if v == origin {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mid = v - (v - origin) / 2;
+    if mid != v && mid != origin {
+        out.push(mid);
+    }
+    let step = if v > origin { v - 1 } else { v + 1 };
+    if step != origin && step != mid {
+        out.push(step);
+    }
+    out
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::SampleUniform;
+                <$t>::sample_half_open(self.start, self.end, &mut rng.inner)
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                // Shrink toward zero when the range admits it, else toward
+                // the closest bound.
+                let (lo, hi) = (self.start as i128, self.end as i128 - 1);
+                let origin = 0i128.clamp(lo, hi);
+                shrink_int(origin, *v as i128)
+                    .into_iter()
+                    .filter(|&c| c >= lo && c <= hi)
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink_value(v: &$t) -> Vec<$t> {
+                shrink_int(0, *v as i128)
+                    .into_iter()
+                    .filter_map(|c| <$t>::try_from(c).ok())
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Types with a canonical whole-domain strategy (upstream `Arbitrary`,
+/// reached through [`any`]).
+pub trait Arbitrary: Clone + Debug + 'static {
+    /// Draw a uniform value of the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Shrink candidates (toward the type's simplest value).
+    fn shrink_value(_v: &Self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Whole-domain strategy for `T` (upstream `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        T::shrink_value(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Vectors of `element` with length drawn from `len` (upstream
+    /// `collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            len.start < len.end,
+            "collection::vec given an empty length range"
+        );
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::SampleUniform;
+            let n = usize::sample_half_open(self.len.start, self.len.end, &mut rng.inner);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Caps bound the candidate set so greedy shrinking stays cheap
+            // even for long vectors; the runner iterates to a fixpoint, so
+            // later positions still get reached once earlier ones minimise.
+            const POSITION_CAP: usize = 48;
+            let min = self.len.start;
+            let n = v.len();
+            let mut out = Vec::new();
+            // Structural shrinks first: halves, then single removals.
+            if n > min {
+                let half = n / 2;
+                if half > 0 && n - half >= min {
+                    out.push(v[half..].to_vec());
+                    out.push(v[..n - half].to_vec());
+                }
+                if n > min {
+                    for i in (0..n).take(POSITION_CAP) {
+                        let mut w = v.clone();
+                        w.remove(i);
+                        out.push(w);
+                    }
+                }
+            }
+            // Then element-wise simplification.
+            for i in (0..n).take(POSITION_CAP) {
+                for cand in self.element.shrink(&v[i]).into_iter().take(2) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// Weighted choice between type-erased strategies — [`prop_oneof!`]'s
+/// output type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms. Panics if empty or all-zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::SampleUniform;
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = u64::sample_half_open(0, total, &mut rng.inner);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // The producing arm is unknown post-hoc; offer every arm's
+        // candidates and let the runner keep whichever still fails.
+        self.arms.iter().flat_map(|(_, s)| s.shrink(v)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and runner
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Upper bound on shrink probes after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] expansion.
+pub mod runner {
+    use super::*;
+    use std::sync::Once;
+
+    thread_local! {
+        // True while re-running the test body on shrink candidates, where
+        // panics are expected and their default-hook output is noise.
+        static IN_SHRINK_PROBE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    static HOOK: Once = Once::new();
+
+    /// Install (once per process) a panic hook that stays quiet during
+    /// shrink probes and otherwise mimics the default hook's one-liner.
+    fn install_quiet_probe_hook() {
+        HOOK.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !IN_SHRINK_PROBE.with(|p| p.get()) {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    }
+
+    /// FNV-1a over the test name: a stable default seed so runs replay.
+    fn default_seed(name: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    fn probe<S, F>(f: &F, value: S::Value) -> Option<String>
+    where
+        S: Strategy,
+        F: Fn(S::Value),
+    {
+        IN_SHRINK_PROBE.with(|p| p.set(true));
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(value)));
+        IN_SHRINK_PROBE.with(|p| p.set(false));
+        outcome.err().map(|e| payload_message(&*e))
+    }
+
+    /// Drive `config.cases` samples of `strategy` through `f`; on the first
+    /// failure, greedily shrink and panic with a replayable report.
+    pub fn run_test<S, F>(config: &ProptestConfig, strategy: &S, name: &str, f: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value),
+    {
+        install_quiet_probe_hook();
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| default_seed(name));
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases);
+        let mut rng = TestRng::seed_from_u64(seed);
+        for case in 0..cases {
+            let value = strategy.sample(&mut rng);
+            let Some(first_message) = probe::<S, F>(&f, value.clone()) else {
+                continue;
+            };
+            // Greedy first-improvement shrinking to a local minimum.
+            let mut minimal = value;
+            let mut message = first_message;
+            let mut probes = 0u32;
+            'outer: loop {
+                if probes >= config.max_shrink_iters {
+                    break;
+                }
+                for cand in strategy.shrink(&minimal) {
+                    probes += 1;
+                    if let Some(m) = probe::<S, F>(&f, cand.clone()) {
+                        minimal = cand;
+                        message = m;
+                        continue 'outer;
+                    }
+                    if probes >= config.max_shrink_iters {
+                        break 'outer;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "proptest: test `{name}` failed at case {case}/{cases} (seed {seed}, \
+                 {probes} shrink probes; replay with PROPTEST_SEED={seed})\n\
+                 minimal failing input: {minimal:#?}\n\
+                 panic: {message}"
+            );
+        }
+    }
+}
+
+/// Property-test block: optional `#![proptest_config(..)]`, then test
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ( $($strat,)+ );
+            $crate::runner::run_test(
+                &__config,
+                &__strategy,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__args| {
+                    let ( $($pat,)+ ) = __args;
+                    $body
+                },
+            );
+        }
+    )*};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assertion inside a property (plain `assert!` here: the runner catches
+/// the panic and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// The proptest prelude: everything the test modules import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn range_strategy_samples_in_bounds_and_shrinks_toward_zero() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = -50i64..50;
+        for _ in 0..1000 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((-50..50).contains(&v));
+        }
+        assert!(Strategy::shrink(&s, &37).contains(&0));
+        assert!(Strategy::shrink(&s, &0).is_empty());
+        // A range excluding zero shrinks toward its nearest bound instead.
+        let positive = 10usize..20;
+        assert!(Strategy::shrink(&positive, &17).contains(&10));
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_and_shrinks_by_removal() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = crate::collection::vec(0i64..100, 3..7);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let shrunk = s.shrink(&vec![9, 8, 7, 6, 5]);
+        assert!(shrunk.iter().any(|w| w.len() == 4));
+        assert!(shrunk.iter().all(|w| w.len() >= 3));
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let s = prop_oneof![
+            3 => Just(1u32),
+            1 => Just(2u32),
+        ];
+        let mut rng = TestRng::seed_from_u64(3);
+        let ones = (0..4000).filter(|_| s.sample(&mut rng) == 1).count();
+        assert!((2700..3300).contains(&ones), "weight-3 arm hit {ones}/4000");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_roundtrip(
+            x in 0i64..100,
+            flag in any::<bool>(),
+            xs in crate::collection::vec(0i64..10, 0..5),
+        ) {
+            prop_assert!((0..100).contains(&x));
+            // Exercises the bool strategy; either value is acceptable.
+            prop_assert!(usize::from(flag) < 2);
+            prop_assert_eq!(xs.iter().filter(|&&v| v >= 10).count(), 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_vector() {
+        let config = ProptestConfig::with_cases(200);
+        let strategy = (crate::collection::vec(0i64..1000, 0..20),);
+        let failure = std::panic::catch_unwind(|| {
+            crate::runner::run_test(&config, &strategy, "shrink_demo", |(xs,)| {
+                // Fails whenever any element is >= 500.
+                assert!(xs.iter().all(|&v| v < 500));
+            });
+        })
+        .expect_err("property must fail");
+        let msg = failure
+            .downcast_ref::<String>()
+            .expect("string panic")
+            .clone();
+        // Greedy shrinking should reach a single-element vector [500].
+        assert!(
+            msg.contains("500"),
+            "shrunk report should pin the boundary value: {msg}"
+        );
+        assert!(
+            msg.contains("minimal failing input"),
+            "report format: {msg}"
+        );
+    }
+}

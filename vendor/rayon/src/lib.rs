@@ -1,0 +1,133 @@
+#![forbid(unsafe_code)]
+//! Vendored, offline subset of the `rayon` API.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the rayon surface it uses. Semantics are identical to upstream rayon —
+//! every adapter produces the same values in the same order — with two
+//! execution differences:
+//!
+//! * [`join`] runs its closures on two real OS threads (via
+//!   `std::thread::scope`), so divide-and-conquer builds still overlap;
+//! * the `par_iter`-family adapters run *sequentially*: they are thin
+//!   wrappers over the corresponding `std` iterators. Upstream rayon's
+//!   ordered `collect`/`unzip`/`for_each` are observationally equivalent to
+//!   the sequential ones, so correctness (and every differential test) is
+//!   unaffected; only wall-clock parallelism of the bulk paths is reduced
+//!   until the real crate is restored.
+//!
+//! Keeping the call sites on the rayon spelling means swapping the real
+//! dependency back in is a one-line `Cargo.toml` change.
+
+/// Run both closures, the second on a freshly scoped OS thread, and return
+/// both results — upstream `rayon::join`'s semantics (minus work stealing).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = hb.join().expect("rayon-shim join: worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Number of worker threads rayon would use: the machine's available
+/// parallelism (the shim has no pool of its own).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a "parallel" iterator (sequential in the shim).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert `self` into an iterator; upstream distributes it over the
+    /// thread pool, the shim walks it in order.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing parallel iteration over slices (sequential in the shim).
+pub trait ParallelSlice<T> {
+    /// Upstream `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Upstream `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Mutable parallel iteration over slices (sequential in the shim).
+pub trait ParallelSliceMut<T> {
+    /// Upstream `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Upstream `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// The rayon prelude: the traits the adapters hang off.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn adapters_match_std_iterators() {
+        let doubled: Vec<i32> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+
+        let xs = [3i64, 1, 4, 1, 5];
+        let sum: i64 = xs.par_iter().sum();
+        assert_eq!(sum, 14);
+
+        let mut ys = [1i64, 2, 3, 4, 5];
+        ys.par_chunks_mut(2).for_each(|c| c.reverse());
+        assert_eq!(ys, [2, 1, 4, 3, 5]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
