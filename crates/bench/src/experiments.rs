@@ -517,6 +517,7 @@ pub struct T3Row {
 /// Drive `n_ops` inserts followed by `n_ops` extracts at each bandwidth —
 /// the A4 sweep and the Theorem 3 evidence.
 pub fn theorem3(q: usize, bs: &[usize], n_ops: usize) -> Vec<T3Row> {
+    use hypercube::NetStats;
     use rand::Rng;
     let mut out = Vec::new();
     for &b in bs {
@@ -531,8 +532,10 @@ pub fn theorem3(q: usize, bs: &[usize], n_ops: usize) -> Vec<T3Row> {
         }
         assert_eq!(drained, n_ops);
         let ledger = pq.ledger();
-        let total_time: u64 = ledger.iter().map(|(_, s)| s.time).sum();
-        let words: u64 = ledger.iter().map(|(_, s)| s.word_hops).sum();
+        let totals = ledger
+            .iter()
+            .fold(NetStats::default(), |acc, (_, s)| acc.merge(s));
+        let (total_time, words) = (totals.time, totals.word_hops);
         let multis = ledger.len().max(1) as f64;
         out.push(T3Row {
             q,

@@ -23,8 +23,10 @@ pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
 ) -> UnionPlan<K> {
     let width = h1.len().max(h2.len());
     let at = |v: &[Option<RootRef<K>>], i: usize| v.get(i).copied().flatten();
+    let _sp = obs::span("union/rayon");
 
     // Phase I: presence bits, g/p, carry scan, classification.
+    let sp_phase = obs::span("union/phase1");
     let (a, b): (Vec<bool>, Vec<bool>) = (0..width)
         .into_par_iter()
         .map(|i| (at(h1, i).is_some(), at(h2, i).is_some()))
@@ -58,7 +60,9 @@ pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
         .map(|i| !(p[i] && i > 0 && c[i - 1]))
         .collect();
 
+    drop(sp_phase);
     // Phase II: segmented prefix minima over (I_lim, I_valueB).
+    let sp_phase = obs::span("union/phase2");
     let i_value_b: Vec<Option<RootRef<K>>> = (0..width)
         .into_par_iter()
         .map(|i| position_winner(at(h1, i), at(h2, i)))
@@ -74,7 +78,9 @@ pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
             .map(|p| p.1)
             .collect();
 
+    drop(sp_phase);
     // Phase III: independent per-position decisions.
+    let sp_phase = obs::span("union/phase3");
     let links: Vec<_> = (0..width)
         .into_par_iter()
         .filter_map(|i| {
@@ -109,6 +115,7 @@ pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
         debug_assert!(new_roots[slot].is_none());
         new_roots[slot] = Some(id);
     }
+    drop(sp_phase);
 
     UnionPlan {
         width,

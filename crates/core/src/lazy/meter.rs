@@ -86,6 +86,21 @@ impl CostMeter {
     pub fn total(&self) -> Cost {
         self.cost
     }
+
+    /// The processor count this meter schedules for.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+}
+
+impl obs::Recorder for CostMeter {
+    fn family(&self) -> &'static str {
+        "meldpq.lazy_meter"
+    }
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        let c = self.total();
+        vec![("time", c.time), ("work", c.work), ("p", self.p as u64)]
+    }
 }
 
 #[cfg(test)]

@@ -571,6 +571,7 @@ impl LazyBinomialHeap {
 
     /// Locally repair the structure around the freshly deleted non-root `x`.
     fn take_up(&mut self, x: NodeId) {
+        let _sp = obs::span("lazy/take_up");
         let mut meter = CostMeter::new(self.p);
         let p_id = self.arena.get(x).parent.expect("take_up on a root");
         let kx = self.arena.get(x).degree();

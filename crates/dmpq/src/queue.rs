@@ -35,13 +35,15 @@ use crate::bheap::{BbHeap, BbNodeId};
 use crate::mapping::{processor_for, MappingKind};
 
 /// Difference of two cumulative [`NetStats`] snapshots.
+///
+/// Snapshot ordering contract: `after` must be the *later* snapshot of the
+/// same `NetSim` meter and no `reset_stats` may run between the two —
+/// cumulative counters only grow, so under the contract every field of
+/// `after` dominates `before`. Delegates to [`NetStats::delta`], which
+/// saturates at zero instead of panicking in debug builds when the contract
+/// is broken (swapped arguments, an intervening reset).
 pub fn stats_delta(after: NetStats, before: NetStats) -> NetStats {
-    NetStats {
-        time: after.time - before.time,
-        rounds: after.rounds - before.rounds,
-        messages: after.messages - before.messages,
-        word_hops: after.word_hops - before.word_hops,
-    }
+    after.delta(&before)
 }
 
 /// Which queue operation a ledger entry belongs to.
@@ -527,6 +529,7 @@ impl DistributedPq {
         r1: &[Option<BbNodeId>],
         r2: &[Option<BbNodeId>],
     ) -> Vec<Option<BbNodeId>> {
+        let _sp = obs::span("dmpq/b_union");
         let s1 = self.collection_size(r1);
         let s2 = self.collection_size(r2);
         if s1 + s2 == 0 {
@@ -566,6 +569,7 @@ impl DistributedPq {
     /// Preprocessing (paper §5): sort all root keys on the cube and deal the
     /// sorted chunks back to the roots ordered by old max key.
     fn preprocess(&mut self, r1: &[Option<BbNodeId>], r2: &[Option<BbNodeId>]) {
+        let _sp = obs::span("preprocess");
         let p = self.net.nodes();
         let all_roots: Vec<BbNodeId> = r1
             .iter()
@@ -637,6 +641,7 @@ impl DistributedPq {
     /// Phases I–II as metered Hamiltonian prefixes; asserts the distributed
     /// results agree with the host plan.
     fn run_metered_phases(&mut self, plan: &UnionPlan) {
+        let _sp = obs::span("phases1_2");
         let width = plan.width;
         // Carry scan over KPG statuses.
         let statuses: Vec<Vec<Word>> = (0..width)
@@ -694,6 +699,7 @@ impl DistributedPq {
     /// Phase III communication: child addresses to dominants, changed-degree
     /// roots to their new processors.
     fn phase3_movement(&mut self, plan: &UnionPlan) {
+        let _sp = obs::span("rehome");
         let mut packets: Vec<Packet> = Vec::new();
         for l in &plan.links {
             let child = BbNodeId(l.child.0);
@@ -916,5 +922,20 @@ mod multiop_tests {
         // The second insert must meld with an existing tree: more traffic.
         assert!(d2.messages >= d1.messages);
         assert!(pq.net_stats().time > 0);
+    }
+
+    #[test]
+    fn stats_delta_saturates_on_swapped_snapshots() {
+        let mut pq = DistributedPq::new(2, 4);
+        let before = pq.net_stats();
+        pq.multi_insert(vec![9, 1, 5, 3]);
+        pq.multi_insert(vec![8, 2, 6, 4]);
+        let after = pq.net_stats();
+        let d = stats_delta(after, before);
+        assert!(d.messages > 0);
+        // The broken call order used to overflow-panic in debug builds; the
+        // contract violation now degrades to zeroed fields.
+        let swapped = stats_delta(before, after);
+        assert_eq!(swapped, NetStats::default());
     }
 }

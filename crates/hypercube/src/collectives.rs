@@ -16,6 +16,7 @@ pub fn broadcast(
     root: usize,
     payload: Vec<Word>,
 ) -> Result<Vec<Vec<Word>>, NetError> {
+    let _sp = obs::span("hc/broadcast");
     let n = net.nodes();
     assert!(root < n);
     let mut have: Vec<Option<Vec<Word>>> = vec![None; n];
@@ -56,6 +57,7 @@ pub fn reduce(
     values: Vec<Vec<Word>>,
     op: impl Fn(&[Word], &[Word]) -> Vec<Word>,
 ) -> Result<Vec<Word>, NetError> {
+    let _sp = obs::span("hc/reduce");
     let n = net.nodes();
     assert_eq!(values.len(), n);
     let mut acc: Vec<Option<Vec<Word>>> = values.into_iter().map(Some).collect();
@@ -92,6 +94,7 @@ pub fn all_reduce(
     values: Vec<Vec<Word>>,
     op: impl Fn(&[Word], &[Word]) -> Vec<Word>,
 ) -> Result<Vec<Vec<Word>>, NetError> {
+    let _sp = obs::span("hc/all_reduce");
     let n = net.nodes();
     assert_eq!(values.len(), n);
     let mut acc = values;
@@ -118,6 +121,7 @@ pub fn gather(
     root: usize,
     values: Vec<Vec<Word>>,
 ) -> Result<Vec<(usize, Vec<Word>)>, NetError> {
+    let _sp = obs::span("hc/gather");
     let n = net.nodes();
     assert_eq!(values.len(), n);
     let packets: Vec<Packet> = values

@@ -87,6 +87,59 @@ pub struct NetStats {
     pub word_hops: u64,
 }
 
+impl NetStats {
+    /// The field-wise sum of two stat blocks (for folding a ledger of
+    /// per-operation deltas back into a total).
+    pub fn merge(&self, other: &NetStats) -> NetStats {
+        NetStats {
+            time: self.time + other.time,
+            rounds: self.rounds + other.rounds,
+            messages: self.messages + other.messages,
+            word_hops: self.word_hops + other.word_hops,
+        }
+    }
+
+    /// `self - before` for two snapshots of the *same* cumulative meter.
+    ///
+    /// Snapshot ordering contract: `self` is the later snapshot and no
+    /// [`NetSim::reset_stats`] ran between the two. Saturates at zero rather
+    /// than panicking in debug builds when the contract is broken (swapped
+    /// arguments, an intervening reset) — a zeroed field is a readable
+    /// symptom, an overflow panic mid-experiment is not.
+    pub fn delta(&self, before: &NetStats) -> NetStats {
+        NetStats {
+            time: self.time.saturating_sub(before.time),
+            rounds: self.rounds.saturating_sub(before.rounds),
+            messages: self.messages.saturating_sub(before.messages),
+            word_hops: self.word_hops.saturating_sub(before.word_hops),
+        }
+    }
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time={} rounds={} messages={} word_hops={}",
+            self.time, self.rounds, self.messages, self.word_hops
+        )
+    }
+}
+
+impl obs::Recorder for NetStats {
+    fn family(&self) -> &'static str {
+        "hypercube.net"
+    }
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("time", self.time),
+            ("rounds", self.rounds),
+            ("messages", self.messages),
+            ("word_hops", self.word_hops),
+        ]
+    }
+}
+
 /// A received message: `(sender, payload)`; `None` when nothing arrived.
 pub type Inbox = Vec<Option<(usize, Vec<Word>)>>;
 
@@ -355,5 +408,38 @@ mod tests {
         let mut net = NetSim::new(2);
         net.round(vec![]).unwrap();
         assert_eq!(net.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn stats_merge_delta_display() {
+        let a = NetStats {
+            time: 5,
+            rounds: 2,
+            messages: 3,
+            word_hops: 7,
+        };
+        let b = NetStats {
+            time: 1,
+            rounds: 1,
+            messages: 1,
+            word_hops: 2,
+        };
+        let m = a.merge(&b);
+        assert_eq!(
+            m,
+            NetStats {
+                time: 6,
+                rounds: 3,
+                messages: 4,
+                word_hops: 9
+            }
+        );
+        assert_eq!(m.delta(&b), a);
+        // Broken snapshot ordering saturates instead of panicking.
+        assert_eq!(b.delta(&m), NetStats::default());
+        assert_eq!(a.to_string(), "time=5 rounds=2 messages=3 word_hops=7");
+        use obs::Recorder;
+        assert_eq!(a.family(), "hypercube.net");
+        assert_eq!(a.fields()[3], ("word_hops", 7));
     }
 }

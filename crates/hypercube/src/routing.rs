@@ -26,6 +26,7 @@ pub fn ecube_next_hop(at: usize, dst: usize) -> usize {
 /// packet (FIFO), deferring when the receiver is already claimed. Returns
 /// the packets grouped by destination, in delivery order.
 pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>, NetError> {
+    let _sp = obs::span("hc/route");
     let n = net.nodes();
     let mut delivered: Vec<Vec<Packet>> = vec![Vec::new(); n];
     // Queues of in-flight packets per current node.

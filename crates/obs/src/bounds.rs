@@ -1,0 +1,248 @@
+//! Theorem-bound envelopes and the conformance checker.
+//!
+//! The paper's claims are cost claims, so the telemetry layer evaluates each
+//! recorded operation against the theorem that covers it:
+//!
+//! * **Theorem 1** — `Union` (and the other basic operations) on the EREW
+//!   PRAM: `O(log log n + log n / p)` time and `O(log n)` work.
+//! * **Theorem 2** — lazy `Delete`/`Change-Key` on the CREW PRAM: amortized
+//!   `O(log log n)` time and `O(log n)` work with
+//!   `p = O(log n / log log n)` processors.
+//! * **Theorem 3** — `b-Union` on the single-port `q`-cube:
+//!   `O(log² n + b·log n·log b / 2^q)` communication time.
+//!
+//! Asymptotic bounds hide constants, so each [`Envelope`] carries an
+//! explicit constant `c` *fitted at small n* ([`Envelope::fit`] takes
+//! `(shape, measured)` calibration samples and keeps the max ratio). A
+//! conformance check then reports `measured / (c · shape)` at the full
+//! problem size: a ratio ≤ 1 means the small-n constant still covers the
+//! large-n run; the configurable threshold (default
+//! [`DEFAULT_THRESHOLD`]) allows bounded drift before a run is declared
+//! non-conforming — a regressing schedule fails loudly instead of silently
+//! losing its `O(log log n)` story.
+
+use crate::json::J;
+use std::fmt;
+
+/// Default headroom on `measured / (c · shape)` before a row fails.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// `log2` clamped so that the shapes stay positive and finite for `n ≥ 1`.
+pub fn log2(n: f64) -> f64 {
+    n.max(2.0).log2()
+}
+
+/// `log2 log2`, same clamping.
+pub fn loglog2(n: f64) -> f64 {
+    log2(log2(n))
+}
+
+/// Theorem 1 time shape: `log log n + log n / p`.
+pub fn th1_union_time(n: f64, p: f64) -> f64 {
+    loglog2(n) + log2(n) / p.max(1.0)
+}
+
+/// Theorem 1 work shape: `log n`.
+pub fn th1_union_work(n: f64) -> f64 {
+    log2(n)
+}
+
+/// Theorem 2 amortized-time shape: `log log n`.
+pub fn th2_amortized_time(n: f64) -> f64 {
+    loglog2(n)
+}
+
+/// Theorem 2 amortized-work shape: `log n`.
+pub fn th2_amortized_work(n: f64) -> f64 {
+    log2(n)
+}
+
+/// Theorem 3 `b-Union` communication-time shape:
+/// `log² n + b·log n·log b / 2^q`.
+pub fn th3_bunion_time(n: f64, b: f64, q: f64) -> f64 {
+    let cube = (2.0_f64).powf(q.max(0.0));
+    log2(n) * log2(n) + b.max(1.0) * log2(n) * log2(b) / cube
+}
+
+/// The paper's processor count for Theorems 1–2: `⌈log n / log log n⌉ ≥ 1`.
+pub fn paper_p(n: usize) -> usize {
+    ((log2(n as f64) / loglog2(n as f64)).ceil() as usize).max(1)
+}
+
+/// A theorem bound with an explicitly fitted constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Which theorem, e.g. `"theorem1"`.
+    pub theorem: &'static str,
+    /// Which metric of it, e.g. `"union.time"`.
+    pub metric: &'static str,
+    /// The fitted constant `c`.
+    pub c: f64,
+    /// Allowed `measured / (c · shape)` before a check fails.
+    pub threshold: f64,
+}
+
+impl Envelope {
+    /// Fit `c` as the max `measured / shape` over small-n calibration
+    /// samples (each sample is `(shape value, measured value)`), with the
+    /// default threshold. Degenerate samples (`shape ≤ 0`) are skipped; the
+    /// constant is floored at a tiny epsilon so later ratios stay finite.
+    pub fn fit(theorem: &'static str, metric: &'static str, samples: &[(f64, f64)]) -> Envelope {
+        let c = samples
+            .iter()
+            .filter(|(shape, _)| *shape > 0.0)
+            .map(|(shape, measured)| measured / shape)
+            .fold(0.0, f64::max)
+            .max(1e-9);
+        Envelope {
+            theorem,
+            metric,
+            c,
+            threshold: DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// Same as [`Envelope::fit`] with an explicit threshold.
+    pub fn fit_with_threshold(
+        theorem: &'static str,
+        metric: &'static str,
+        samples: &[(f64, f64)],
+        threshold: f64,
+    ) -> Envelope {
+        Envelope {
+            threshold,
+            ..Envelope::fit(theorem, metric, samples)
+        }
+    }
+
+    /// Evaluate `measured` against `c · shape` at the full problem size.
+    pub fn check(&self, label: &str, shape: f64, measured: f64) -> Conformance {
+        let bound = self.c * shape;
+        let ratio = if bound > 0.0 {
+            measured / bound
+        } else if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        Conformance {
+            theorem: self.theorem,
+            metric: self.metric,
+            label: label.to_string(),
+            measured,
+            bound,
+            ratio,
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// One measured-vs-bound row of the conformance report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conformance {
+    /// Which theorem.
+    pub theorem: &'static str,
+    /// Which metric.
+    pub metric: &'static str,
+    /// Operation/size label, e.g. `"n=4096 p=4"`.
+    pub label: String,
+    /// The measured value.
+    pub measured: f64,
+    /// The envelope value `c · shape` at this size.
+    pub bound: f64,
+    /// `measured / bound`.
+    pub ratio: f64,
+    /// The envelope's threshold.
+    pub threshold: f64,
+}
+
+impl Conformance {
+    /// Whether the row conforms: a finite ratio within the threshold.
+    pub fn within(&self) -> bool {
+        self.ratio.is_finite() && self.ratio <= self.threshold
+    }
+
+    /// JSON object for the report file.
+    pub fn to_json(&self) -> J {
+        J::obj([
+            ("theorem", J::Str(self.theorem.to_string())),
+            ("metric", J::Str(self.metric.to_string())),
+            ("label", J::Str(self.label.clone())),
+            ("measured", J::Num(self.measured)),
+            ("bound", J::Num(self.bound)),
+            ("ratio", J::Num(self.ratio)),
+            ("threshold", J::Num(self.threshold)),
+            ("within", J::Bool(self.within())),
+        ])
+    }
+}
+
+impl fmt::Display for Conformance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<9} {:<22} {:<18} measured={:<10.2} bound={:<10.2} ratio={:.3} [{}]",
+            self.theorem,
+            self.metric,
+            self.label,
+            self.measured,
+            self.bound,
+            self.ratio,
+            if self.within() { "ok" } else { "VIOLATION" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_finite_and_monotone() {
+        for &n in &[1.0, 2.0, 64.0, 1e6] {
+            assert!(th1_union_time(n, 4.0).is_finite());
+            assert!(th1_union_work(n) > 0.0);
+            assert!(th2_amortized_time(n) > 0.0);
+            assert!(th3_bunion_time(n, 8.0, 3.0) > 0.0);
+        }
+        assert!(th1_union_work(1e6) > th1_union_work(64.0));
+        assert!(th3_bunion_time(1e6, 8.0, 3.0) > th3_bunion_time(64.0, 8.0, 3.0));
+    }
+
+    #[test]
+    fn paper_p_small_values() {
+        assert_eq!(paper_p(1), 1);
+        assert!(paper_p(1 << 16) >= 4);
+    }
+
+    #[test]
+    fn fit_takes_max_ratio_and_check_divides() {
+        let env = Envelope::fit("theorem1", "union.time", &[(2.0, 6.0), (4.0, 8.0)]);
+        assert!((env.c - 3.0).abs() < 1e-12);
+        let row = env.check("n=64", 10.0, 15.0);
+        assert!((row.bound - 30.0).abs() < 1e-9);
+        assert!((row.ratio - 0.5).abs() < 1e-9);
+        assert!(row.within());
+        let bad = env.check("n=64", 10.0, 60.0);
+        assert!(!bad.within());
+        assert!(bad.to_json().to_string().contains(r#""within":false"#));
+    }
+
+    #[test]
+    fn zero_bound_cases() {
+        let env = Envelope::fit("theorem2", "amortized.time", &[(0.0, 5.0)]);
+        // Only degenerate samples: c falls back to epsilon.
+        let ok = env.check("zero", 0.0, 0.0);
+        assert!(ok.within());
+        let bad = env.check("zero", 0.0, 1.0);
+        assert!(!bad.within());
+    }
+
+    #[test]
+    fn display_marks_violations() {
+        let env = Envelope::fit("theorem3", "bunion.time", &[(1.0, 1.0)]);
+        let row = env.check("q=3", 1.0, 10.0);
+        let line = row.to_string();
+        assert!(line.contains("VIOLATION"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal JSON emission, shared by the telemetry documents and the bench
+//! report binaries (which re-export [`J`] as `bench::json::J`). Deliberately
+//! dependency-free: the values we emit are flat records of numbers and short
+//! strings, so a hand-rolled printer beats pulling serde into every crate.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum J {
+    /// Integer.
+    Int(i64),
+    /// Unsigned (kept separate to avoid lossy casts of u64 meters).
+    UInt(u64),
+    /// Float (serialised with enough precision for replotting).
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Array.
+    Arr(Vec<J>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, J)>),
+}
+
+impl J {
+    /// Object constructor from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, J)>>(pairs: I) -> J {
+        J::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for J {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            J::Int(v) => write!(f, "{v}"),
+            J::UInt(v) => write!(f, "{v}"),
+            J::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            J::Str(s) => escape(s, f),
+            J::Bool(b) => write!(f, "{b}"),
+            J::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            J::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Whether the process arguments request JSON output.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escaping() {
+        assert_eq!(J::Int(-5).to_string(), "-5");
+        assert_eq!(J::UInt(7).to_string(), "7");
+        assert_eq!(J::Bool(true).to_string(), "true");
+        assert_eq!(J::Num(1.5).to_string(), "1.5");
+        assert_eq!(J::Num(f64::NAN).to_string(), "null");
+        assert_eq!(J::Str("a\"b\\c\nd".into()).to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = J::obj([
+            ("xs", J::Arr(vec![J::Int(1), J::Int(2)])),
+            ("name", J::Str("t1".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"xs":[1,2],"name":"t1"}"#);
+    }
+}

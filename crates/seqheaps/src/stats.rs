@@ -67,6 +67,46 @@ impl OpStats {
         self.add_comparisons(other.comparisons());
         self.links.set(self.links.get() + other.links());
     }
+
+    /// The sum of two counter blocks as a fresh value (the non-mutating
+    /// sibling of [`OpStats::absorb`], for aggregating across heaps).
+    pub fn merge(&self, other: &OpStats) -> OpStats {
+        OpStats {
+            comparisons: Cell::new(self.comparisons() + other.comparisons()),
+            links: Cell::new(self.links() + other.links()),
+        }
+    }
+
+    /// `self - before` for two snapshots of the *same* cumulative counters,
+    /// taken without an intervening [`OpStats::reset`] — `self` must be the
+    /// later snapshot. Saturates at zero rather than panicking if the
+    /// contract is broken (e.g. a reset slipped between the snapshots).
+    pub fn delta(&self, before: &OpStats) -> OpStats {
+        OpStats {
+            comparisons: Cell::new(self.comparisons().saturating_sub(before.comparisons())),
+            links: Cell::new(self.links().saturating_sub(before.links())),
+        }
+    }
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "comparisons={} links={}",
+            self.comparisons(),
+            self.links()
+        )
+    }
+}
+
+impl obs::Recorder for OpStats {
+    fn family(&self) -> &'static str {
+        "seqheaps.ops"
+    }
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![("comparisons", self.comparisons()), ("links", self.links())]
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +128,37 @@ mod tests {
         s.reset();
         assert_eq!(s.comparisons(), 0);
         assert_eq!(s.links(), 0);
+    }
+
+    #[test]
+    fn merge_delta_display() {
+        let a = OpStats::new();
+        a.add_comparisons(5);
+        a.add_link();
+        let b = OpStats::new();
+        b.add_comparisons(2);
+        let m = a.merge(&b);
+        assert_eq!(m.comparisons(), 7);
+        assert_eq!(m.links(), 1);
+        // a itself is untouched (merge is the non-mutating absorb).
+        assert_eq!(a.comparisons(), 5);
+        let d = m.delta(&b);
+        assert_eq!(d.comparisons(), 5);
+        assert_eq!(d.links(), 1);
+        // Swapped arguments saturate instead of panicking.
+        let swapped = b.delta(&m);
+        assert_eq!(swapped.comparisons(), 0);
+        assert_eq!(swapped.links(), 0);
+        assert_eq!(m.to_string(), "comparisons=7 links=1");
+    }
+
+    #[test]
+    fn recorder_fields() {
+        use obs::Recorder;
+        let s = OpStats::new();
+        s.add_comparisons(3);
+        assert_eq!(s.family(), "seqheaps.ops");
+        assert_eq!(s.fields(), vec![("comparisons", 3), ("links", 0)]);
     }
 
     #[test]

@@ -46,10 +46,7 @@ fn main() {
         }
         println!("\nbandwidth b = {b}:");
         println!("  multi-operations: {multis} ({ins} Multi-Insert, {ext} Multi-Extract-Min)");
-        println!(
-            "  network: time {} over {} rounds, {} messages, {} word·hops",
-            stats.time, stats.rounds, stats.messages, stats.word_hops
-        );
+        println!("  network: {stats}");
         println!(
             "  amortized communication per op: {:.2} time units",
             stats.time as f64 / 1024.0

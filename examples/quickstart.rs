@@ -72,7 +72,7 @@ fn main() {
     let first: Vec<_> = (0..5).filter_map(|_| dq.extract_min()).collect();
     println!("distributed queue first five: {first:?}");
     println!(
-        "network cost so far: {:?} over {} multi-operations",
+        "network cost so far: {} over {} multi-operations",
         dq.net_stats(),
         dq.ledger().len()
     );
