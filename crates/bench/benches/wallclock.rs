@@ -1,16 +1,198 @@
-//! W2: where real threads actually pay — the bulk prefix primitives
-//! (rayon vs sequential) that back the parallel engines. A single union's
-//! `O(log n)` positions are far below thread-dispatch cost (documented in
-//! DESIGN.md §5); the scans only win at bulk sizes, shown here.
+//! W2: the wall-clock trajectory — what the hardware actually sees.
+//!
+//! The deterministic PRAM meters (`BENCH_baseline.json`) prove the *theorem*
+//! bounds; this suite measures *seconds*. It covers the four operations the
+//! zero-copy representation (`meldpq::pool`) is about:
+//!
+//! * `meld` — same-pool zero-copy plan application vs the legacy
+//!   arena-absorb path, with a hard gate: zero-copy must win by ≥10× at
+//!   n = 2^20 (it is O(log n) pointer writes vs Θ(n) node moves).
+//! * `multi_insert` / `multi_extract_min` — the bulk kernels across both
+//!   planning engines.
+//! * `mixed` — an insert/extract-heavy workload mirroring W1's op mix.
+//! * plus the prefix-scan and build primitives that back them.
+//!
+//! Results are appended to `reports/BENCH_wallclock.json` (same `obs::json`
+//! plumbing as telemetry) so every PR extends a perf trajectory. Quick mode
+//! for CI: `cargo bench --bench wallclock -- --warm-up-time 0.2
+//! --measurement-time 0.5`; pass `--full` (nightly) to add the 2^22 sizes.
 
 use std::time::Duration;
 
 use bench::workloads;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BatchSize, BenchResult, BenchmarkId, Criterion};
+use meldpq::{Engine, HeapPool, ParBinomialHeap};
+use obs::json::J;
+
+/// The meld sizes; 2^22 only with `--full`.
+fn meld_sizes(full: bool) -> Vec<usize> {
+    let mut v = vec![1usize << 10, 1 << 14, 1 << 18, 1 << 20];
+    if full {
+        v.push(1 << 22);
+    }
+    v
+}
+
+fn bulk_sizes(full: bool) -> Vec<usize> {
+    let mut v = vec![1usize << 14, 1 << 18];
+    if full {
+        v.push(1 << 20);
+    }
+    v
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Sequential => "seq",
+        Engine::Rayon => "rayon",
+    }
+}
+
+/// Two heaps of n/2 keys each in one pool (zero-copy operand pair).
+fn pooled_pair(n: usize, seed: u64) -> (HeapPool<i64>, meldpq::PooledHeap, meldpq::PooledHeap) {
+    let mut rng = workloads::rng(seed ^ n as u64);
+    let keys = workloads::random_keys(&mut rng, n);
+    let mut pool = HeapPool::with_capacity(n);
+    let a = pool.from_keys_parallel(&keys[..n / 2], Engine::Sequential);
+    let b = pool.from_keys_parallel(&keys[n / 2..], Engine::Sequential);
+    (pool, a, b)
+}
+
+/// Two free-standing heaps of n/2 keys each (absorb operand pair).
+fn heap_pair(n: usize, seed: u64) -> (ParBinomialHeap<i64>, ParBinomialHeap<i64>) {
+    let mut rng = workloads::rng(seed ^ n as u64);
+    let keys = workloads::random_keys(&mut rng, n);
+    (
+        ParBinomialHeap::from_keys_parallel(&keys[..n / 2]),
+        ParBinomialHeap::from_keys_parallel(&keys[n / 2..]),
+    )
+}
+
+fn bench_meld(c: &mut Criterion, full: bool) {
+    let mut group = c.benchmark_group("meld");
+    for n in meld_sizes(full) {
+        group.bench_with_input(BenchmarkId::new("zero_copy", n), &n, |b, &n| {
+            b.iter_batched(
+                || pooled_pair(n, 11),
+                |(mut pool, mut a, b)| {
+                    pool.meld(&mut a, b, Engine::Sequential);
+                    (pool, a)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("absorb", n), &n, |b, &n| {
+            b.iter_batched(
+                || heap_pair(n, 11),
+                |(mut a, b)| {
+                    a.meld(b, Engine::Sequential);
+                    a
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_insert(c: &mut Criterion, full: bool) {
+    let mut group = c.benchmark_group("multi_insert");
+    const BATCH: usize = 4096;
+    for n in bulk_sizes(full) {
+        let mut rng = workloads::rng(23 ^ n as u64);
+        let keys = workloads::random_keys(&mut rng, n + BATCH);
+        let base = ParBinomialHeap::from_keys_parallel(&keys[..n]);
+        let batch: Vec<i64> = keys[n..].to_vec();
+        for engine in [Engine::Sequential, Engine::Rayon] {
+            let id = BenchmarkId::new(engine_name(engine), n);
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut h| {
+                        h.multi_insert_with(&batch, engine);
+                        h
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_multi_extract(c: &mut Criterion, full: bool) {
+    let mut group = c.benchmark_group("multi_extract_min");
+    for n in bulk_sizes(full) {
+        let k = n / 16;
+        let mut rng = workloads::rng(31 ^ n as u64);
+        let keys = workloads::random_keys(&mut rng, n);
+        let base = ParBinomialHeap::from_keys_parallel(&keys);
+        for engine in [Engine::Sequential, Engine::Rayon] {
+            let id = BenchmarkId::new(format!("frontier_{}", engine_name(engine)), n);
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut h| {
+                        let out = h.multi_extract_min(k, engine);
+                        (h, out)
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        // The pre-pool baseline: k sequential Extract-Min rounds.
+        group.bench_with_input(BenchmarkId::new("extract_loop", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut h| {
+                    let mut out = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        out.push(h.extract_min(Engine::Sequential));
+                    }
+                    (h, out)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed(c: &mut Criterion, _full: bool) {
+    let mut group = c.benchmark_group("mixed");
+    const OPS: usize = 1024;
+    for n in [1usize << 14, 1 << 18] {
+        let mut rng = workloads::rng(47 ^ n as u64);
+        let keys = workloads::random_keys(&mut rng, n + OPS);
+        let base = ParBinomialHeap::from_keys_parallel(&keys[..n]);
+        let fresh: Vec<i64> = keys[n..].to_vec();
+        for engine in [Engine::Sequential, Engine::Rayon] {
+            let id = BenchmarkId::new(engine_name(engine), n);
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut h| {
+                        // 2:1 insert/extract mix, W1's ratio.
+                        for (i, &k) in fresh.iter().enumerate() {
+                            if i % 3 < 2 {
+                                h.insert(k);
+                            } else {
+                                h.extract_min(engine);
+                            }
+                        }
+                        h
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench_scans(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefix_scan");
-    for n in [1usize << 14, 1 << 20, 1 << 22] {
+    for n in [1usize << 14, 1 << 20] {
         let mut rng = workloads::rng(n as u64);
         let xs = workloads::random_keys(&mut rng, n);
         group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
@@ -23,47 +205,126 @@ fn bench_scans(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_segmented_min(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segmented_min");
-    for n in [1usize << 14, 1 << 20] {
-        let mut rng = workloads::rng(7 + n as u64);
-        let xs = workloads::random_keys(&mut rng, n);
-        let flags: Vec<bool> = (0..n).map(|i| i % 97 == 0).collect();
-        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
-            b.iter(|| parscan::seq::segmented_prefix_min(&flags, &xs))
-        });
-        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
-            b.iter(|| parscan::par::segmented_prefix_min(&flags, &xs, i64::MAX))
-        });
-    }
-    group.finish();
-}
-
-fn bench_bulk_build(c: &mut Criterion) {
+fn bench_bulk_build(c: &mut Criterion, full: bool) {
     let mut group = c.benchmark_group("bulk_build");
-    for n in [1usize << 16, 1 << 20] {
+    for n in bulk_sizes(full) {
         let mut rng = workloads::rng(99 + n as u64);
         let keys = workloads::random_keys(&mut rng, n);
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
-            b.iter(|| meldpq::ParBinomialHeap::from_keys(keys.iter().copied()))
+            b.iter(|| ParBinomialHeap::from_keys(keys.iter().copied()))
         });
-        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
-            b.iter(|| meldpq::ParBinomialHeap::<i64>::from_keys_parallel(&keys))
+        group.bench_with_input(BenchmarkId::new("pooled_slab", n), &n, |b, _| {
+            b.iter(|| ParBinomialHeap::<i64>::from_keys_parallel(&keys))
         });
     }
     group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
+/// The ≥10× meld gate at n = 2^20: the whole point of the pooled
+/// representation, enforced so a regression fails CI rather than rotting.
+const GATE_N: usize = 1 << 20;
+const GATE_RATIO: f64 = 10.0;
+
+fn find_mean(results: &[BenchResult], id: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.mean_ns as f64)
+}
+
+fn write_report(results: &[BenchResult], gate: &J, path: &std::path::Path) {
+    let rows: Vec<J> = results
+        .iter()
+        .map(|r| {
+            J::obj([
+                ("id", J::Str(r.id.clone())),
+                ("mean_ns", J::UInt(r.mean_ns)),
+                ("min_ns", J::UInt(r.min_ns)),
+                ("samples", J::UInt(r.samples as u64)),
+            ])
+        })
+        .collect();
+    let doc = J::obj([
+        ("report", J::Str("wallclock".into())),
+        ("unit", J::Str("ns/iter".into())),
+        (
+            "note",
+            J::Str(
+                "wall-clock means from the vendored criterion harness; \
+                 machine-dependent, unlike the deterministic PRAM meters in \
+                 BENCH_baseline.json"
+                    .into(),
+            ),
+        ),
+        ("results", J::Arr(rows)),
+        ("gate", gate.clone()),
+    ]);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_wallclock.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut c = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800))
-}
+        .configure_from_args();
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_scans, bench_segmented_min, bench_bulk_build
+    bench_meld(&mut c, full);
+    bench_multi_insert(&mut c, full);
+    bench_multi_extract(&mut c, full);
+    bench_mixed(&mut c, full);
+    bench_scans(&mut c);
+    bench_bulk_build(&mut c, full);
+
+    let results = criterion::take_results();
+    let zero = find_mean(&results, &format!("meld/zero_copy/{GATE_N}"));
+    let absorb = find_mean(&results, &format!("meld/absorb/{GATE_N}"));
+    let (gate, pass) = match (zero, absorb) {
+        (Some(z), Some(a)) if z > 0.0 => {
+            let ratio = a / z;
+            let pass = ratio >= GATE_RATIO;
+            (
+                J::obj([
+                    ("name", J::Str("meld_zero_copy_speedup".into())),
+                    ("n", J::UInt(GATE_N as u64)),
+                    ("zero_copy_mean_ns", J::Num(z)),
+                    ("absorb_mean_ns", J::Num(a)),
+                    ("ratio", J::Num(ratio)),
+                    ("threshold", J::Num(GATE_RATIO)),
+                    ("pass", J::Bool(pass)),
+                ]),
+                pass,
+            )
+        }
+        _ => (
+            J::obj([
+                ("name", J::Str("meld_zero_copy_speedup".into())),
+                ("pass", J::Bool(false)),
+                ("error", J::Str("gate sizes missing from the run".into())),
+            ]),
+            false,
+        ),
+    };
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../reports/BENCH_wallclock.json");
+    write_report(&results, &gate, &path);
+
+    match (zero, absorb) {
+        (Some(z), Some(a)) => println!(
+            "meld gate @ n=2^20: absorb {a:.0} ns / zero-copy {z:.0} ns = {:.1}x (need ≥{GATE_RATIO}x)",
+            a / z
+        ),
+        _ => println!("meld gate @ n=2^20: sizes missing"),
+    }
+    if !pass {
+        eprintln!("FAIL: zero-copy meld did not beat absorb by ≥{GATE_RATIO}x at n=2^20");
+        std::process::exit(1);
+    }
 }
-criterion_main!(benches);

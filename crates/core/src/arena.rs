@@ -37,11 +37,23 @@ pub struct Node<K> {
     pub children: Vec<NodeId>,
 }
 
+/// Allocation counters for an [`Arena`] — the instrumentation behind the
+/// zero-copy meld guarantee (see `pool.rs` and DESIGN.md §7): a same-pool
+/// meld must leave *both* counters unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Fresh nodes created (`alloc`, slab extension).
+    pub allocs: u64,
+    /// Nodes copied in from another arena (`absorb`, cross-pool moves).
+    pub copies: u64,
+}
+
 /// Slab arena with free-list recycling.
 #[derive(Debug, Clone, Default)]
 pub struct Arena<K> {
     nodes: Vec<Option<Node<K>>>,
     free: Vec<u32>,
+    stats: ArenaStats,
 }
 
 impl<K> Arena<K> {
@@ -50,6 +62,7 @@ impl<K> Arena<K> {
         Arena {
             nodes: Vec::new(),
             free: Vec::new(),
+            stats: ArenaStats::default(),
         }
     }
 
@@ -58,7 +71,19 @@ impl<K> Arena<K> {
         Arena {
             nodes: Vec::with_capacity(cap),
             free: Vec::new(),
+            stats: ArenaStats::default(),
         }
+    }
+
+    /// Allocation counters since construction (clones inherit the history).
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Number of slab slots (live + free) — the id space upper bound, used
+    /// by the pool builder to reserve a fresh contiguous id range.
+    pub fn slab_len(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Number of live nodes.
@@ -73,6 +98,7 @@ impl<K> Arena<K> {
 
     /// Allocate a fresh leaf node.
     pub fn alloc(&mut self, key: K) -> NodeId {
+        self.stats.allocs += 1;
         let node = Node {
             key,
             parent: None,
@@ -124,6 +150,36 @@ impl<K> Arena<K> {
             .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
     }
 
+    /// Move a fully-formed node in from another arena (pointers still in the
+    /// source id space — the caller rewrites them afterwards). Counted as a
+    /// copy, not a fresh allocation.
+    pub(crate) fn alloc_node(&mut self, node: Node<K>) -> NodeId {
+        self.stats.copies += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = Some(node);
+                NodeId(idx)
+            }
+            None => {
+                self.nodes.push(Some(node));
+                NodeId((self.nodes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Append a pre-built contiguous slab of live nodes whose ids were baked
+    /// against `self.slab_len()` at build time (the pool's parallel builder).
+    /// No remapping happens — the ids are already final.
+    pub(crate) fn extend_slab(&mut self, slab: Vec<Option<Node<K>>>) {
+        debug_assert!(slab.iter().all(|s| s.is_some()), "slab must be dense");
+        self.stats.allocs += slab.len() as u64;
+        if self.nodes.is_empty() && self.free.is_empty() {
+            self.nodes = slab;
+        } else {
+            self.nodes.extend(slab);
+        }
+    }
+
     /// Absorb all nodes of `other`, returning a remapping function applied to
     /// its ids: every `NodeId` from `other` must be translated. Children and
     /// parent pointers inside the moved nodes are rewritten here.
@@ -136,6 +192,11 @@ impl<K> Arena<K> {
                 moved.push((i as u32, node));
             }
         }
+        // Reserve the net growth up front: one slab doubling instead of
+        // log(moved) incremental ones on the copy loop below.
+        self.stats.copies += moved.len() as u64;
+        self.nodes
+            .reserve(moved.len().saturating_sub(self.free.len()));
         for (old, node) in &moved {
             let new_id = match self.free.pop() {
                 Some(idx) => {

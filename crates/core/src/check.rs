@@ -21,9 +21,12 @@
 //! The checks return `Err(String)` with a human-readable reason rather than
 //! panicking, so property tests can assert on the message.
 
+use std::collections::HashSet;
+
 use crate::heap::ParBinomialHeap;
 use crate::lazy::LazyBinomialHeap;
 use crate::plan::{classify_point, PointType, UnionPlan};
+use crate::pool::{HeapPool, PooledHeap};
 
 /// A priority queue that can assert its own structural invariants.
 ///
@@ -132,6 +135,44 @@ pub fn check_plan<K: Ord + Copy>(plan: &UnionPlan<K>) -> Result<(), String> {
     Ok(())
 }
 
+/// Deep check of a [`HeapPool`] against the full set of heaps it is
+/// supposed to hold: every heap passes [`HeapPool::validate_heap`]
+/// (ownership stamp, BH1/BH2, binary representation), **no node is
+/// reachable from two heaps** (the aliasing hazard of the shared-slab
+/// representation — a corrupted meld could splice one tree under two
+/// parents), and the heaps together account for every live node of the
+/// pool (no leaks, no strays).
+pub fn check_pool<K: Ord + Copy + Send + Sync>(
+    pool: &HeapPool<K>,
+    heaps: &[&PooledHeap],
+) -> Result<(), String> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut ids = Vec::new();
+    for (hi, h) in heaps.iter().enumerate() {
+        pool.validate_heap(h)
+            .map_err(|e| format!("heap {hi}: {e}"))?;
+        ids.clear();
+        pool.collect_node_ids(h, &mut ids);
+        for id in &ids {
+            if !seen.insert(id.0) {
+                return Err(format!(
+                    "node {id:?} is reachable from heap {hi} and an earlier heap \
+                     (cross-heap aliasing)"
+                ));
+            }
+        }
+    }
+    if seen.len() != pool.live_nodes() {
+        return Err(format!(
+            "pool holds {} live nodes but the heaps account for {} \
+             (leaked or stray nodes in the slab)",
+            pool.live_nodes(),
+            seen.len()
+        ));
+    }
+    Ok(())
+}
+
 impl<K: Ord + Copy + Send + Sync> CheckedPq for ParBinomialHeap<K> {
     fn check_invariants(&self) -> Result<(), String> {
         check_heap(self)
@@ -207,6 +248,32 @@ mod tests {
         let mut plan = build_plan_seq(&refs(0b1011, 5, 0), &refs(0b0110, 5, 100));
         plan.g.push(false);
         assert!(check_plan(&plan).unwrap_err().contains("length"));
+    }
+
+    #[test]
+    fn pool_check_accepts_healthy_pools_and_finds_leaks() {
+        use crate::heap::Engine;
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let mut a = pool.from_keys(0..9);
+        let b = pool.from_keys(20..25);
+        check_pool(&pool, &[&a, &b]).unwrap();
+        pool.meld(&mut a, b, Engine::Sequential);
+        check_pool(&pool, &[&a]).unwrap();
+        // A heap the caller forgot to list shows up as leaked nodes.
+        let c = pool.from_keys([99]);
+        let err = check_pool(&pool, &[&a]).unwrap_err();
+        assert!(err.contains("account for"), "got: {err}");
+        check_pool(&pool, &[&a, &c]).unwrap();
+    }
+
+    #[test]
+    fn pool_check_catches_cross_heap_aliasing() {
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let a = pool.from_keys([1, 2, 3, 4]);
+        // Listing the same heap twice makes every node "shared" — the exact
+        // signature of a meld that left a tree reachable from two handles.
+        let err = check_pool(&pool, &[&a, &a]).unwrap_err();
+        assert!(err.contains("aliasing"), "got: {err}");
     }
 
     #[test]

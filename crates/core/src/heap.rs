@@ -180,7 +180,7 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     }
 
     /// Meld a second root array whose nodes already live in `self.arena`.
-    fn meld_roots_in_arena(
+    pub(crate) fn meld_roots_in_arena(
         &mut self,
         other_roots: Vec<Option<NodeId>>,
         other_len: usize,
@@ -336,6 +336,27 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             self.arena.get_mut(*r).parent = None;
         }
         self.trim();
+    }
+
+    /// Assemble a heap from a pool-built arena + root array (the zero-copy
+    /// handoff in [`HeapPool::into_heap`](crate::pool::HeapPool::into_heap)).
+    /// The arena must hold exactly the heap's nodes.
+    pub(crate) fn from_raw_parts(arena: Arena<K>, roots: Vec<Option<NodeId>>, len: usize) -> Self {
+        let mut h = ParBinomialHeap { arena, roots, len };
+        h.trim();
+        h.debug_validate();
+        h
+    }
+
+    /// Decompose into `(arena, roots, len)` (the zero-copy handoff into
+    /// [`HeapPool::adopt`](crate::pool::HeapPool::adopt)).
+    pub(crate) fn into_raw_parts(self) -> (Arena<K>, Vec<Option<NodeId>>, usize) {
+        (self.arena, self.roots, self.len)
+    }
+
+    /// Mutable access to arena + roots together (the bulk peel kernel).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Arena<K>, &mut Vec<Option<NodeId>>) {
+        (&mut self.arena, &mut self.roots)
     }
 
     /// Allocate a node without attaching it anywhere (the parallel builders

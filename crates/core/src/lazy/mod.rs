@@ -468,7 +468,14 @@ impl LazyBinomialHeap {
     /// `Union(Q1, Q2)`: meld another lazy heap in. `other`'s node handles are
     /// invalidated (its arena is re-indexed).
     pub fn meld(&mut self, other: LazyBinomialHeap) {
-        // Move other's nodes into our arena.
+        // Move other's nodes into our arena. This is the cross-arena
+        // fallback path (Θ(n) copies); the *re-melds* inside `planned_union`
+        // and `arrange_heap` stay within one arena and are zero-copy, like
+        // the pooled representation (`meldpq::pool`). Reserve the net growth
+        // up front so the copy loop does one slab growth, not log(n).
+        self.arena
+            .nodes
+            .reserve(other.arena.len().saturating_sub(self.arena.free.len()));
         let mut map: Vec<u32> = vec![u32::MAX; other.arena.nodes.len()];
         for (i, slot) in other.arena.nodes.iter().enumerate() {
             if slot.is_some() {

@@ -41,9 +41,11 @@ pub mod engine_rayon;
 pub mod heap;
 pub mod lazy;
 pub mod plan;
+pub mod pool;
 pub mod viz;
 
-pub use arena::{Arena, Node, NodeId};
+pub use arena::{Arena, ArenaStats, Node, NodeId};
 pub use check::CheckedPq;
 pub use heap::{Engine, ParBinomialHeap};
 pub use plan::{LinkOp, PointType, RootRef, UnionPlan};
+pub use pool::{HeapPool, PooledHeap};

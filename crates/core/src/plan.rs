@@ -110,6 +110,29 @@ pub struct UnionPlan<K = i64> {
     pub new_roots: Vec<Option<NodeId>>,
 }
 
+impl<K> Default for UnionPlan<K> {
+    /// An empty plan (all vectors empty, width 0) — the starting state for
+    /// the buffer-reusing [`build_plan_into`]. Hand-written so `K` needs no
+    /// `Default` bound.
+    fn default() -> Self {
+        UnionPlan {
+            width: 0,
+            a: Vec::new(),
+            b: Vec::new(),
+            g: Vec::new(),
+            p: Vec::new(),
+            c: Vec::new(),
+            s: Vec::new(),
+            class: Vec::new(),
+            i_lim: Vec::new(),
+            i_value_b: Vec::new(),
+            i_value_a: Vec::new(),
+            links: Vec::new(),
+            new_roots: Vec::new(),
+        }
+    }
+}
+
 /// Width (bit positions) needed to meld heaps of `n1` and `n2` elements.
 pub fn plan_width(n1: usize, n2: usize) -> usize {
     let n = n1 + n2;
@@ -257,6 +280,20 @@ pub fn build_plan_seq<K: Ord + Copy>(
     h1: &[Option<RootRef<K>>],
     h2: &[Option<RootRef<K>>],
 ) -> UnionPlan<K> {
+    let mut plan = UnionPlan::default();
+    build_plan_into(&mut plan, h1, h2);
+    plan
+}
+
+/// Sequential oracle, reusing a caller-owned plan's buffers: every vector is
+/// cleared and refilled in place, so hot loops (pooled melds, the parallel
+/// builder's reduction tree) plan without per-meld allocation after the
+/// first call. Produces exactly what [`build_plan_seq`] returns.
+pub fn build_plan_into<K: Ord + Copy>(
+    plan: &mut UnionPlan<K>,
+    h1: &[Option<RootRef<K>>],
+    h2: &[Option<RootRef<K>>],
+) {
     #[cfg(debug_assertions)]
     {
         let mut ids: Vec<u32> = h1
@@ -273,85 +310,85 @@ pub fn build_plan_seq<K: Ord + Copy>(
     let width = h1.len().max(h2.len());
     let at = |v: &[Option<RootRef<K>>], i: usize| v.get(i).copied().flatten();
 
-    let a: Vec<bool> = (0..width).map(|i| at(h1, i).is_some()).collect();
-    let b: Vec<bool> = (0..width).map(|i| at(h2, i).is_some()).collect();
-    let g: Vec<bool> = (0..width).map(|i| a[i] && b[i]).collect();
-    let p: Vec<bool> = (0..width).map(|i| a[i] ^ b[i]).collect();
-    let c = parscan::carry::carries_ripple(&a, &b);
-    let s: Vec<bool> = (0..width)
-        .map(|i| {
-            let c_prev = i > 0 && c[i - 1];
-            p[i] ^ c_prev
-        })
-        .collect();
-    let class: Vec<PointType> = (0..width)
-        .map(|i| {
-            let c_prev = i > 0 && c[i - 1];
-            let p_next = i + 1 < width && p[i + 1];
-            classify_point(g[i], p[i], c_prev, p_next)
-        })
-        .collect();
-    let i_lim: Vec<bool> = (0..width)
-        .map(|i| {
-            let c_prev = i > 0 && c[i - 1];
-            !(p[i] && c_prev)
-        })
-        .collect();
-    let i_value_b: Vec<Option<RootRef<K>>> = (0..width)
-        .map(|i| position_winner(at(h1, i), at(h2, i)))
-        .collect();
+    plan.width = width;
+    plan.a.clear();
+    plan.a.extend((0..width).map(|i| at(h1, i).is_some()));
+    plan.b.clear();
+    plan.b.extend((0..width).map(|i| at(h2, i).is_some()));
+    plan.g.clear();
+    plan.g.extend((0..width).map(|i| plan.a[i] && plan.b[i]));
+    plan.p.clear();
+    plan.p.extend((0..width).map(|i| plan.a[i] ^ plan.b[i]));
+    // The ripple carry recurrence (`parscan::carry::carries_ripple`),
+    // inlined so no scratch vector is allocated per meld.
+    plan.c.clear();
+    let mut carry = false;
+    for i in 0..width {
+        carry = plan.g[i] || (plan.p[i] && carry);
+        plan.c.push(carry);
+    }
+    plan.s.clear();
+    plan.s.extend((0..width).map(|i| {
+        let c_prev = i > 0 && plan.c[i - 1];
+        plan.p[i] ^ c_prev
+    }));
+    plan.class.clear();
+    plan.class.extend((0..width).map(|i| {
+        let c_prev = i > 0 && plan.c[i - 1];
+        let p_next = i + 1 < width && plan.p[i + 1];
+        classify_point(plan.g[i], plan.p[i], c_prev, p_next)
+    }));
+    plan.i_lim.clear();
+    plan.i_lim.extend((0..width).map(|i| {
+        let c_prev = i > 0 && plan.c[i - 1];
+        !(plan.p[i] && c_prev)
+    }));
+    plan.i_value_b.clear();
+    plan.i_value_b
+        .extend((0..width).map(|i| position_winner(at(h1, i), at(h2, i))));
 
     // Phase II: segmented prefix minima.
-    let mut i_value_a: Vec<Option<RootRef<K>>> = Vec::with_capacity(width);
+    plan.i_value_a.clear();
     let mut acc: (bool, Option<RootRef<K>>) = (false, None);
     for i in 0..width {
-        let elem = (i_lim[i], i_value_b[i]);
+        let elem = (plan.i_lim[i], plan.i_value_b[i]);
         acc = if i == 0 { elem } else { seg_combine(acc, elem) };
-        i_value_a.push(acc.1);
+        plan.i_value_a.push(acc.1);
     }
 
     // Phase III.
-    let mut links = Vec::new();
-    let mut new_roots: Vec<Option<NodeId>> = vec![None; width];
+    plan.links.clear();
+    plan.new_roots.clear();
+    plan.new_roots.resize(width, None);
     for i in 0..width {
-        let c_prev = i > 0 && c[i - 1];
-        let p_next = i + 1 < width && p[i + 1];
-        let dom_prev = if i > 0 { i_value_a[i - 1] } else { None };
+        let c_prev = i > 0 && plan.c[i - 1];
+        let p_next = i + 1 < width && plan.p[i + 1];
+        let dom_prev = if i > 0 { plan.i_value_a[i - 1] } else { None };
         if let Some(op) = link_decision(
-            class[i],
-            g[i],
+            plan.class[i],
+            plan.g[i],
             at(h1, i),
             at(h2, i),
-            i_value_b[i],
-            i_value_a[i],
+            plan.i_value_b[i],
+            plan.i_value_a[i],
             dom_prev,
             i,
         ) {
-            links.push(op);
+            plan.links.push(op);
         }
-        if let Some((slot, root)) =
-            new_root_decision(i, class[i], g[i], p[i], c_prev, p_next, i_value_a[i])
-        {
+        if let Some((slot, root)) = new_root_decision(
+            i,
+            plan.class[i],
+            plan.g[i],
+            plan.p[i],
+            c_prev,
+            p_next,
+            plan.i_value_a[i],
+        ) {
             debug_assert!(slot < width, "result width must accommodate all roots");
-            debug_assert!(new_roots[slot].is_none(), "H slot assigned twice");
-            new_roots[slot] = Some(root);
+            debug_assert!(plan.new_roots[slot].is_none(), "H slot assigned twice");
+            plan.new_roots[slot] = Some(root);
         }
-    }
-
-    UnionPlan {
-        width,
-        a,
-        b,
-        g,
-        p,
-        c,
-        s,
-        class,
-        i_lim,
-        i_value_b,
-        i_value_a,
-        links,
-        new_roots,
     }
 }
 

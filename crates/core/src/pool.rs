@@ -1,0 +1,819 @@
+//! Shared node pool: the zero-copy meld representation.
+//!
+//! [`ParBinomialHeap::meld`](crate::heap::ParBinomialHeap::meld) owns its
+//! arena, so melding two heaps must *absorb* the second arena — copy and
+//! id-remap every node, `Θ(n)` wall-clock for an operation the paper proves
+//! is `O(log n)` work (Theorem 1). The fix is a representation change in the
+//! spirit of Hollow Heaps (Hansen–Kaplan–Tarjan–Zwick) and rank-pairing
+//! heaps: **one shared slab, links instead of moves**.
+//!
+//! A [`HeapPool`] owns a single [`Arena`] from which *every* heap in the
+//! pool allocates its [`NodeId`]s. A [`PooledHeap`] is then nothing but
+//! bookkeeping — a root array `H` and a length — so melding two heaps of the
+//! same pool is pure Phase I–III plan application: `O(log n)` pointer writes,
+//! **zero node copies** (asserted by the [`Arena::stats`] counters and the
+//! `tests/pool_zero_copy.rs` gate). Planning scratch (the two padded root
+//! reference arrays and the [`UnionPlan`] buffers) lives in the pool and is
+//! reused across melds, so the hot loop performs no per-meld allocation.
+//!
+//! Cross-pool operations still exist as explicit, counted fallbacks:
+//! [`HeapPool::adopt`] absorbs a free-standing heap and
+//! [`HeapPool::meld_cross_pool`] moves another pool's trees node by node.
+//! Ownership is enforced by a generational [`PoolId`] stamped into every
+//! handle — using a handle against the wrong pool panics immediately instead
+//! of silently corrupting two slabs.
+//!
+//! The parallel builder ([`HeapPool::from_keys_parallel`]) removes the last
+//! copy from the bulk path: the key range is split recursively, each half
+//! builds into a *disjoint* sub-slice of one pre-sized slab (ids baked
+//! against the final base offset, so nothing is ever remapped), and the
+//! halves meld on the way up inside the shared slab — the tree of unions
+//! costs `O(log² n)` pointer writes total instead of the old
+//! `Θ(n log n)` absorb cascade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::arena::{Arena, ArenaStats, Node, NodeId};
+use crate::heap::{Engine, ParBinomialHeap};
+use crate::plan::{build_plan_into, plan_width, RootRef, UnionPlan};
+
+/// Sub-ranges below this size build sequentially (same granularity rule as
+/// the old divide-and-conquer builder; see DESIGN.md §5).
+const SEQ_THRESHOLD: usize = 8 * 1024;
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Generational identity of a [`HeapPool`]. Every [`PooledHeap`] carries the
+/// id of the pool that created it; all pool operations verify the stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolId(u64);
+
+/// A heap living inside a [`HeapPool`]: the root array `H` plus the length.
+/// All node storage belongs to the pool, which is what makes same-pool meld
+/// zero-copy. Handles are deliberately not `Clone` — duplicating one would
+/// alias live trees; use [`HeapPool::clone_heap`] for a (counted) deep copy.
+#[derive(Debug)]
+pub struct PooledHeap {
+    pool: PoolId,
+    roots: Vec<Option<NodeId>>,
+    len: usize,
+}
+
+impl PooledHeap {
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Root array `H`: slot `i` = root of `B_i`.
+    pub fn roots(&self) -> &[Option<NodeId>] {
+        &self.roots
+    }
+}
+
+/// A pool of binomial heaps sharing one node slab. See the module docs.
+#[derive(Debug)]
+pub struct HeapPool<K = i64> {
+    id: PoolId,
+    arena: Arena<K>,
+    // Reusable planning scratch: padded root references for both operands
+    // and the plan itself. Cleared and refilled on every sequential meld —
+    // no per-meld Vec churn on the hot loop.
+    scratch_h1: Vec<Option<RootRef<K>>>,
+    scratch_h2: Vec<Option<RootRef<K>>>,
+    scratch_plan: UnionPlan<K>,
+}
+
+impl<K> Default for HeapPool<K> {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+impl<K> HeapPool<K> {
+    /// A fresh, empty pool.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A fresh pool with slab room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        HeapPool {
+            id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
+            arena: Arena::with_capacity(cap),
+            scratch_h1: Vec::new(),
+            scratch_h2: Vec::new(),
+            scratch_plan: UnionPlan::default(),
+        }
+    }
+
+    /// This pool's identity stamp.
+    pub fn id(&self) -> PoolId {
+        self.id
+    }
+
+    /// Whether `h` was created by (and still belongs to) this pool.
+    pub fn owns(&self, h: &PooledHeap) -> bool {
+        h.pool == self.id
+    }
+
+    /// Borrow the shared arena (read-only; checks and tests).
+    pub fn arena(&self) -> &Arena<K> {
+        &self.arena
+    }
+
+    /// Total live nodes across every heap of the pool.
+    pub fn live_nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Allocation counters of the shared slab: `(allocs, copies)` — a
+    /// same-pool meld must change neither.
+    pub fn stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// An empty heap in this pool.
+    pub fn new_heap(&self) -> PooledHeap {
+        PooledHeap {
+            pool: self.id,
+            roots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[track_caller]
+    fn assert_owner(&self, h: &PooledHeap) {
+        assert!(
+            h.pool == self.id,
+            "pool-ownership violation: heap belongs to {:?}, pool is {:?} \
+             (use adopt/meld_cross_pool for foreign heaps)",
+            h.pool,
+            self.id
+        );
+    }
+}
+
+fn trim(roots: &mut Vec<Option<NodeId>>) {
+    while matches!(roots.last(), Some(None)) {
+        roots.pop();
+    }
+}
+
+impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
+    /// With `--features debug-validate`, deep-check a heap after a hot-path
+    /// mutation; a no-op otherwise.
+    #[inline]
+    pub(crate) fn debug_validate(&self, h: &PooledHeap) {
+        #[cfg(feature = "debug-validate")]
+        if let Err(e) = self.validate_heap(h) {
+            panic!("debug-validate (PooledHeap): {e}");
+        }
+        #[cfg(not(feature = "debug-validate"))]
+        let _ = h;
+    }
+
+    /// Build a heap by sequential ripple insertion.
+    pub fn from_keys<I: IntoIterator<Item = K>>(&mut self, keys: I) -> PooledHeap {
+        let mut h = self.new_heap();
+        for k in keys {
+            self.insert(&mut h, k);
+        }
+        h
+    }
+
+    /// `Insert(Q, x)`: meld with a singleton (sequential planning — a single
+    /// union has `O(log n)` positions, below thread-dispatch granularity).
+    pub fn insert(&mut self, h: &mut PooledHeap, key: K) {
+        self.assert_owner(h);
+        let id = self.arena.alloc(key);
+        self.meld_roots(h, &[Some(id)], 1, Engine::Sequential);
+        self.debug_validate(h);
+    }
+
+    /// The root holding the minimum key (ties to the lowest order).
+    pub fn min_root(&self, h: &PooledHeap) -> Option<NodeId> {
+        self.assert_owner(h);
+        let mut best: Option<NodeId> = None;
+        for id in h.roots.iter().flatten() {
+            match best {
+                None => best = Some(*id),
+                Some(b) => {
+                    if self.arena.get(*id).key < self.arena.get(b).key {
+                        best = Some(*id);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// `Min(Q)`: the minimum key.
+    pub fn min(&self, h: &PooledHeap) -> Option<K> {
+        self.min_root(h).map(|id| self.arena.get(id).key)
+    }
+
+    /// `Extract-Min(Q)`: remove and return the minimum; the children re-meld
+    /// with the chosen engine — all inside the shared slab, zero copies.
+    pub fn extract_min(&mut self, h: &mut PooledHeap, engine: Engine) -> Option<K> {
+        let min_id = self.min_root(h)?;
+        let order = self.arena.get(min_id).children.len();
+        debug_assert_eq!(h.roots[order], Some(min_id));
+        h.roots[order] = None;
+        trim(&mut h.roots);
+        let Node { key, children, .. } = self.arena.dealloc(min_id);
+        let child_count = (1usize << order) - 1;
+        h.len -= 1 << order;
+        for &c in &children {
+            self.arena.get_mut(c).parent = None;
+        }
+        let residual: Vec<Option<NodeId>> = children.into_iter().map(Some).collect();
+        self.meld_roots(h, &residual, child_count, engine);
+        self.debug_validate(h);
+        Some(key)
+    }
+
+    /// `Union(Q1, Q2)` for two heaps of this pool: pure plan application —
+    /// `O(log n)` pointer writes, zero node copies, zero allocations of node
+    /// storage. `b` is consumed.
+    pub fn meld(&mut self, a: &mut PooledHeap, b: PooledHeap, engine: Engine) {
+        self.assert_owner(a);
+        self.assert_owner(&b);
+        self.meld_roots(a, &b.roots, b.len, engine);
+        self.debug_validate(a);
+    }
+
+    /// Extract the `k` smallest keys with the root-frontier kernel: one
+    /// peel + one re-meld instead of `k` sequential `Extract-Min` plans.
+    pub fn multi_extract_min(&mut self, h: &mut PooledHeap, k: usize, engine: Engine) -> Vec<K> {
+        self.assert_owner(h);
+        let take = k.min(h.len);
+        if take == 0 {
+            return Vec::new();
+        }
+        let (out, orphan_roots, orphan_len) =
+            crate::bulk::peel_k_smallest(&mut self.arena, &mut h.roots, take);
+        h.len -= take + orphan_len;
+        self.meld_roots(h, &orphan_roots, orphan_len, engine);
+        self.debug_validate(h);
+        out
+    }
+
+    /// Drain a heap into ascending order (consumes the handle).
+    pub fn into_sorted_vec(&mut self, mut h: PooledHeap) -> Vec<K> {
+        let n = h.len;
+        self.multi_extract_min(&mut h, n, Engine::Sequential)
+    }
+
+    /// Deep-copy a heap within the pool (counted as copies on the slab).
+    pub fn clone_heap(&mut self, h: &PooledHeap) -> PooledHeap {
+        self.assert_owner(h);
+        let mut roots = vec![None; h.roots.len()];
+        for (slot, r) in h.roots.iter().enumerate() {
+            if let Some(id) = r {
+                roots[slot] = Some(copy_subtree(&mut self.arena, *id, None));
+            }
+        }
+        let out = PooledHeap {
+            pool: self.id,
+            roots,
+            len: h.len,
+        };
+        self.debug_validate(&out);
+        out
+    }
+
+    /// Absorb a free-standing [`ParBinomialHeap`] into the pool — the
+    /// cross-pool fallback, `Θ(n)` counted copies.
+    pub fn adopt(&mut self, heap: ParBinomialHeap<K>) -> PooledHeap {
+        let (arena, roots, len) = heap.into_raw_parts();
+        let remap = self.arena.absorb(arena);
+        let roots: Vec<Option<NodeId>> = roots.iter().map(|r| r.map(&remap)).collect();
+        let out = PooledHeap {
+            pool: self.id,
+            roots,
+            len,
+        };
+        self.debug_validate(&out);
+        out
+    }
+
+    /// `Union` across pools: move `src`'s trees node by node out of
+    /// `src_pool` into this pool (counted copies), then meld zero-copy.
+    /// The explicit fallback for when two heaps do *not* share a slab.
+    pub fn meld_cross_pool(
+        &mut self,
+        dst: &mut PooledHeap,
+        src_pool: &mut HeapPool<K>,
+        src: PooledHeap,
+        engine: Engine,
+    ) {
+        self.assert_owner(dst);
+        src_pool.assert_owner(&src);
+        assert!(
+            self.id != src_pool.id,
+            "same-pool meld must go through HeapPool::meld"
+        );
+        let mut moved = vec![None; src.roots.len()];
+        for (slot, r) in src.roots.iter().enumerate() {
+            if let Some(id) = r {
+                moved[slot] = Some(move_subtree(
+                    &mut self.arena,
+                    &mut src_pool.arena,
+                    *id,
+                    None,
+                ));
+            }
+        }
+        self.meld_roots(dst, &moved, src.len, engine);
+        self.debug_validate(dst);
+    }
+
+    /// Convert the pool into a free-standing heap — zero-copy, but only
+    /// legal when `h` is the pool's sole surviving heap (the slab *is* the
+    /// heap's arena). Panics otherwise.
+    pub fn into_heap(self, h: PooledHeap) -> ParBinomialHeap<K> {
+        self.assert_owner(&h);
+        assert_eq!(
+            self.arena.len(),
+            h.len,
+            "into_heap requires the pool to hold exactly this heap \
+             ({} live nodes vs heap of {})",
+            self.arena.len(),
+            h.len
+        );
+        ParBinomialHeap::from_raw_parts(self.arena, h.roots, h.len)
+    }
+
+    /// Deep structural validation of one heap of the pool: BH1 heap order,
+    /// BH2 shapes, parent pointers, ownership stamp, and the binary
+    /// representation (root orders = set bits of `len`).
+    pub fn validate_heap(&self, h: &PooledHeap) -> Result<(), String> {
+        if h.pool != self.id {
+            return Err(format!(
+                "ownership: heap stamped {:?}, pool is {:?}",
+                h.pool, self.id
+            ));
+        }
+        let mut total = 0usize;
+        for (i, r) in h.roots.iter().enumerate() {
+            if let Some(id) = r {
+                if !self.arena.contains(*id) {
+                    return Err(format!("root {id:?} is not a live pool node"));
+                }
+                if self.arena.get(*id).parent.is_some() {
+                    return Err(format!("root {id:?} has a parent pointer"));
+                }
+                total += walk_tree(&self.arena, *id, i)?;
+            }
+        }
+        if total != h.len {
+            return Err(format!("len {} but trees hold {total}", h.len));
+        }
+        if matches!(h.roots.last(), Some(None)) {
+            return Err("root array not trimmed".into());
+        }
+        let bits: usize = h
+            .roots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| 1usize << i)
+            .sum();
+        if bits != h.len {
+            return Err(format!(
+                "binary representation broken: root orders encode {bits}, len is {}",
+                h.len
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append every node id reachable from `h` to `out` (aliasing checks).
+    pub fn collect_node_ids(&self, h: &PooledHeap, out: &mut Vec<NodeId>) {
+        let mut stack: Vec<NodeId> = h.roots.iter().flatten().copied().collect();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            stack.extend(self.arena.get(id).children.iter().copied());
+        }
+    }
+
+    /// Build a heap from keys using all rayon workers, entirely inside the
+    /// pool's slab: the key range splits recursively, each half builds into
+    /// a disjoint slice of one pre-sized slab with ids baked against the
+    /// final base offset, and the halves meld zero-copy on the way up using
+    /// the chosen planning engine. No absorb, no remap — ever.
+    pub fn from_keys_parallel(&mut self, keys: &[K], engine: Engine) -> PooledHeap {
+        let base = self.arena.slab_len();
+        assert!(
+            base + keys.len() < u32::MAX as usize,
+            "pool slab exceeds the u32 id space"
+        );
+        let mut slab: Vec<Option<Node<K>>> = Vec::new();
+        slab.resize_with(keys.len(), || None);
+        let mut roots = build_slab_rec(keys, &mut slab, base as u32, engine);
+        self.arena.extend_slab(slab);
+        trim(&mut roots);
+        let h = PooledHeap {
+            pool: self.id,
+            roots,
+            len: keys.len(),
+        };
+        self.debug_validate(&h);
+        h
+    }
+
+    /// Meld `other_roots` (nodes already in this pool's slab) into `dst`.
+    /// The scratch buffers make repeated sequential melds allocation-free.
+    fn meld_roots(
+        &mut self,
+        dst: &mut PooledHeap,
+        other_roots: &[Option<NodeId>],
+        other_len: usize,
+        engine: Engine,
+    ) {
+        let n1 = dst.len;
+        let n2 = other_len;
+        if n2 == 0 {
+            return;
+        }
+        if n1 == 0 {
+            dst.roots.clear();
+            dst.roots.extend_from_slice(other_roots);
+            dst.len = n2;
+            trim(&mut dst.roots);
+            return;
+        }
+        let width = plan_width(n1, n2);
+        self.scratch_h1.clear();
+        for i in 0..width {
+            self.scratch_h1
+                .push(dst.roots.get(i).copied().flatten().map(|id| RootRef {
+                    key: self.arena.get(id).key,
+                    id,
+                }));
+        }
+        self.scratch_h2.clear();
+        for i in 0..width {
+            self.scratch_h2
+                .push(other_roots.get(i).copied().flatten().map(|id| RootRef {
+                    key: self.arena.get(id).key,
+                    id,
+                }));
+        }
+        match engine {
+            Engine::Sequential => {
+                build_plan_into(&mut self.scratch_plan, &self.scratch_h1, &self.scratch_h2);
+            }
+            Engine::Rayon => {
+                self.scratch_plan =
+                    crate::engine_rayon::build_plan_rayon(&self.scratch_h1, &self.scratch_h2);
+            }
+        }
+        #[cfg(feature = "debug-validate")]
+        if let Err(e) = crate::check::check_plan(&self.scratch_plan) {
+            panic!("debug-validate (UnionPlan, pooled): {e}");
+        }
+        let (arena, plan) = (&mut self.arena, &self.scratch_plan);
+        debug_assert!(plan.links.windows(2).all(|w| w[0].slot <= w[1].slot));
+        for l in &plan.links {
+            debug_assert_eq!(arena.get(l.child).children.len(), l.slot);
+            debug_assert_eq!(arena.get(l.parent).children.len(), l.slot);
+            arena.get_mut(l.parent).children.push(l.child);
+            arena.get_mut(l.child).parent = Some(l.parent);
+        }
+        dst.roots.clear();
+        dst.roots.extend_from_slice(&plan.new_roots);
+        for r in dst.roots.iter().flatten() {
+            arena.get_mut(*r).parent = None;
+        }
+        trim(&mut dst.roots);
+        dst.len = n1 + n2;
+    }
+}
+
+/// Walk one binomial tree verifying shape, heap order and parent pointers;
+/// returns the subtree size.
+fn walk_tree<K: Ord + Copy>(
+    arena: &Arena<K>,
+    id: NodeId,
+    expected_order: usize,
+) -> Result<usize, String> {
+    let n = arena.get(id);
+    if n.children.len() != expected_order {
+        return Err(format!(
+            "node {id:?}: degree {} expected {expected_order}",
+            n.children.len()
+        ));
+    }
+    let mut size = 1;
+    for (i, &c) in n.children.iter().enumerate() {
+        let cn = arena.get(c);
+        if cn.key < n.key {
+            return Err("heap order violated".into());
+        }
+        if cn.parent != Some(id) {
+            return Err(format!("child {c:?} has wrong parent pointer"));
+        }
+        size += walk_tree(arena, c, i)?;
+    }
+    Ok(size)
+}
+
+/// Deep-copy a subtree within one arena (recursion depth = tree order ≤ 32).
+fn copy_subtree<K: Ord + Copy>(arena: &mut Arena<K>, id: NodeId, parent: Option<NodeId>) -> NodeId {
+    let key = arena.get(id).key;
+    let kids = arena.get(id).children.clone();
+    let new = arena.alloc_node(Node {
+        key,
+        parent,
+        children: Vec::with_capacity(kids.len()),
+    });
+    for c in kids {
+        let nc = copy_subtree(arena, c, Some(new));
+        arena.get_mut(new).children.push(nc);
+    }
+    new
+}
+
+/// Move a subtree out of `src` into `dst` (recursion depth = order ≤ 32).
+fn move_subtree<K>(
+    dst: &mut Arena<K>,
+    src: &mut Arena<K>,
+    id: NodeId,
+    parent: Option<NodeId>,
+) -> NodeId {
+    let node = src.dealloc(id);
+    let new = dst.alloc_node(Node {
+        key: node.key,
+        parent,
+        children: Vec::with_capacity(node.children.len()),
+    });
+    for c in node.children {
+        let nc = move_subtree(dst, src, c, Some(new));
+        dst.get_mut(new).children.push(nc);
+    }
+    new
+}
+
+/// Recursive slab builder: build `keys` into `slab` (a disjoint slice of the
+/// final arena slab) with node `i` at global id `base + i`, melding the two
+/// halves' root arrays inside the slab on the way up.
+fn build_slab_rec<K: Ord + Copy + Send + Sync>(
+    keys: &[K],
+    slab: &mut [Option<Node<K>>],
+    base: u32,
+    engine: Engine,
+) -> Vec<Option<NodeId>> {
+    debug_assert_eq!(keys.len(), slab.len());
+    if keys.len() <= SEQ_THRESHOLD {
+        return build_slab_leaf(keys, slab, base);
+    }
+    let mid = keys.len() / 2;
+    let (left_slab, right_slab) = slab.split_at_mut(mid);
+    let (left_roots, right_roots) = rayon::join(
+        || build_slab_rec(&keys[..mid], left_slab, base, engine),
+        || build_slab_rec(&keys[mid..], right_slab, base + mid as u32, engine),
+    );
+    meld_in_slab(
+        slab,
+        base,
+        left_roots,
+        &right_roots,
+        mid,
+        keys.len() - mid,
+        engine,
+    )
+}
+
+/// Sequential ripple-carry build of one slab segment (ids = `base + index`).
+fn build_slab_leaf<K: Ord + Copy>(
+    keys: &[K],
+    slab: &mut [Option<Node<K>>],
+    base: u32,
+) -> Vec<Option<NodeId>> {
+    let at = |id: NodeId| (id.0 - base) as usize;
+    let mut roots: Vec<Option<NodeId>> = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        slab[i] = Some(Node {
+            key: k,
+            parent: None,
+            children: Vec::new(),
+        });
+        let mut carry = NodeId(base + i as u32);
+        let mut order = 0usize;
+        loop {
+            if roots.len() <= order {
+                roots.push(None);
+            }
+            match roots[order].take() {
+                None => {
+                    roots[order] = Some(carry);
+                    break;
+                }
+                Some(existing) => {
+                    // Tie rule: the resident tree wins, matching the
+                    // planners (the heap is the first operand).
+                    let ek = slab[at(existing)].as_ref().expect("live").key;
+                    let ck = slab[at(carry)].as_ref().expect("live").key;
+                    let (win, lose) = if ek <= ck {
+                        (existing, carry)
+                    } else {
+                        (carry, existing)
+                    };
+                    let li = at(lose);
+                    slab[li].as_mut().expect("live").parent = Some(win);
+                    let wi = at(win);
+                    slab[wi].as_mut().expect("live").children.push(lose);
+                    carry = win;
+                    order += 1;
+                }
+            }
+        }
+    }
+    roots
+}
+
+/// Plan + apply a union of two root arrays whose nodes live in `slab`.
+fn meld_in_slab<K: Ord + Copy + Send + Sync>(
+    slab: &mut [Option<Node<K>>],
+    base: u32,
+    mut left_roots: Vec<Option<NodeId>>,
+    right_roots: &[Option<NodeId>],
+    left_len: usize,
+    right_len: usize,
+    engine: Engine,
+) -> Vec<Option<NodeId>> {
+    if right_len == 0 {
+        return left_roots;
+    }
+    if left_len == 0 {
+        left_roots.clear();
+        left_roots.extend_from_slice(right_roots);
+        return left_roots;
+    }
+    let idx = |id: NodeId| (id.0 - base) as usize;
+    let key_of = |slab: &[Option<Node<K>>], id: NodeId| slab[idx(id)].as_ref().expect("live").key;
+    let width = plan_width(left_len, right_len);
+    let h1: Vec<Option<RootRef<K>>> = (0..width)
+        .map(|i| {
+            left_roots.get(i).copied().flatten().map(|id| RootRef {
+                key: key_of(slab, id),
+                id,
+            })
+        })
+        .collect();
+    let h2: Vec<Option<RootRef<K>>> = (0..width)
+        .map(|i| {
+            right_roots.get(i).copied().flatten().map(|id| RootRef {
+                key: key_of(slab, id),
+                id,
+            })
+        })
+        .collect();
+    let plan = match engine {
+        Engine::Sequential => crate::plan::build_plan_seq(&h1, &h2),
+        Engine::Rayon => crate::engine_rayon::build_plan_rayon(&h1, &h2),
+    };
+    for l in &plan.links {
+        debug_assert_eq!(
+            slab[idx(l.child)].as_ref().expect("live").children.len(),
+            l.slot
+        );
+        debug_assert_eq!(
+            slab[idx(l.parent)].as_ref().expect("live").children.len(),
+            l.slot
+        );
+        slab[idx(l.parent)]
+            .as_mut()
+            .expect("live")
+            .children
+            .push(l.child);
+        slab[idx(l.child)].as_mut().expect("live").parent = Some(l.parent);
+    }
+    let mut out = plan.new_roots.clone();
+    for r in out.iter().flatten() {
+        slab[idx(*r)].as_mut().expect("live").parent = None;
+    }
+    trim(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pool_meld_is_zero_copy() {
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let mut a = pool.from_keys(0..100);
+        let b = pool.from_keys(200..250);
+        let before = pool.stats();
+        pool.meld(&mut a, b, Engine::Sequential);
+        let after = pool.stats();
+        assert_eq!(before, after, "same-pool meld must not alloc or copy");
+        assert_eq!(a.len(), 150);
+        pool.validate_heap(&a).unwrap();
+        assert_eq!(pool.into_sorted_vec(a).len(), 150);
+    }
+
+    #[test]
+    fn pooled_ops_match_oracle() {
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let mut h = pool.new_heap();
+        let keys = [5i64, 3, 9, 1, 7, 3, 8];
+        for &k in &keys {
+            pool.insert(&mut h, k);
+            pool.validate_heap(&h).unwrap();
+        }
+        assert_eq!(pool.min(&h), Some(1));
+        assert_eq!(pool.extract_min(&mut h, Engine::Sequential), Some(1));
+        assert_eq!(pool.extract_min(&mut h, Engine::Rayon), Some(3));
+        pool.validate_heap(&h).unwrap();
+        let rest = pool.into_sorted_vec(h);
+        assert_eq!(rest, vec![3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn clone_heap_is_independent() {
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let mut a = pool.from_keys([4, 2, 6]);
+        let b = pool.clone_heap(&a);
+        assert_eq!(pool.stats().copies, 3);
+        pool.validate_heap(&b).unwrap();
+        // Mutating the original leaves the clone intact.
+        pool.extract_min(&mut a, Engine::Sequential);
+        pool.validate_heap(&a).unwrap();
+        pool.validate_heap(&b).unwrap();
+        assert_eq!(pool.into_sorted_vec(b), vec![2, 4, 6]);
+        assert_eq!(pool.into_sorted_vec(a), vec![4, 6]);
+    }
+
+    #[test]
+    fn cross_pool_meld_falls_back_to_counted_moves() {
+        let mut p1: HeapPool<i64> = HeapPool::new();
+        let mut p2: HeapPool<i64> = HeapPool::new();
+        let mut a = p1.from_keys([1, 5, 9]);
+        let b = p2.from_keys([2, 4, 6, 8]);
+        p1.meld_cross_pool(&mut a, &mut p2, b, Engine::Sequential);
+        assert_eq!(p1.stats().copies, 4, "cross-pool meld copies the source");
+        assert_eq!(p2.live_nodes(), 0, "source pool is drained");
+        p1.validate_heap(&a).unwrap();
+        assert_eq!(p1.into_sorted_vec(a), vec![1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn adopt_and_into_heap_roundtrip() {
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let h = pool.adopt(ParBinomialHeap::from_keys([3, 1, 2]));
+        assert_eq!(pool.stats().copies, 3);
+        pool.validate_heap(&h).unwrap();
+        let free = pool.into_heap(h);
+        free.validate().unwrap();
+        assert_eq!(free.into_sorted_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool-ownership violation")]
+    fn wrong_pool_handle_panics() {
+        let mut p1: HeapPool<i64> = HeapPool::new();
+        let p2: HeapPool<i64> = HeapPool::new();
+        let mut h = p2.new_heap();
+        p1.insert(&mut h, 1);
+    }
+
+    #[test]
+    fn parallel_build_in_pool_is_alloc_only() {
+        let keys: Vec<i64> = (0..50_000)
+            .map(|i| (i * 2654435761u64 as i64) % 9973)
+            .collect();
+        let mut pool: HeapPool<i64> = HeapPool::with_capacity(keys.len());
+        let h = pool.from_keys_parallel(&keys, Engine::Rayon);
+        assert_eq!(pool.stats().allocs, keys.len() as u64);
+        assert_eq!(pool.stats().copies, 0, "parallel build must never copy");
+        pool.validate_heap(&h).unwrap();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(pool.into_sorted_vec(h), expected);
+    }
+
+    #[test]
+    fn multi_extract_matches_sequential_extracts() {
+        let keys: Vec<i64> = (0..2000).map(|i| (i * 37) % 211).collect();
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let mut h = pool.from_keys(keys.iter().copied());
+        let got = pool.multi_extract_min(&mut h, 500, Engine::Sequential);
+        pool.validate_heap(&h).unwrap();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(got, expected[..500]);
+        assert_eq!(h.len(), 1500);
+        let rest = pool.into_sorted_vec(h);
+        assert_eq!(rest, expected[500..]);
+    }
+}

@@ -24,8 +24,9 @@
 //! and report the seed, so failures replay deterministically.
 
 use dmpq::DistributedPq;
+use meldpq::check::check_pool;
 use meldpq::lazy::LazyBinomialHeap;
-use meldpq::{CheckedPq, Engine, NodeId, ParBinomialHeap};
+use meldpq::{CheckedPq, Engine, HeapPool, NodeId, ParBinomialHeap};
 use proptest::prelude::*;
 
 /// One step of a differential program.
@@ -68,6 +69,39 @@ fn lazy_op_strategy() -> impl Strategy<Value = Op> {
         2 => any::<usize>().prop_map(Op::Delete),
         2 => (any::<usize>(), key_strategy()).prop_map(|(i, k)| Op::ChangeKey(i, k)),
         1 => proptest::collection::vec(key_strategy(), 0..8).prop_map(Op::Meld),
+    ]
+}
+
+/// One step of a pool-aware program (the zero-copy representation fleet).
+#[derive(Debug, Clone)]
+enum PoolOp {
+    /// Insert one key everywhere.
+    Insert(i64),
+    /// Extract the minimum everywhere; results must match the oracles.
+    ExtractMin,
+    /// Read the minimum everywhere.
+    Min,
+    /// Same-pool meld — must be zero-copy (asserted on the slab counters).
+    Meld(Vec<i64>),
+    /// Cross-pool meld — the counted fallback path (pool side only).
+    CrossMeld(Vec<i64>),
+    /// Deep-copy the pooled heap, drain the copy, compare with the oracle;
+    /// the original must be untouched.
+    CloneCheck,
+    /// Lazy-side delete of the `i % candidates`-th live handle — exercised
+    /// *between* the zero-copy melds above.
+    Delete(usize),
+}
+
+fn pool_op_strategy() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        5 => key_strategy().prop_map(PoolOp::Insert),
+        3 => Just(PoolOp::ExtractMin),
+        1 => Just(PoolOp::Min),
+        2 => proptest::collection::vec(key_strategy(), 0..10).prop_map(PoolOp::Meld),
+        1 => proptest::collection::vec(key_strategy(), 1..8).prop_map(PoolOp::CrossMeld),
+        1 => Just(PoolOp::CloneCheck),
+        2 => any::<usize>().prop_map(PoolOp::Delete),
     ]
 }
 
@@ -308,5 +342,94 @@ proptest! {
             panic!("lazy invariants broken after final step: {e}");
         }
         prop_assert_eq!(heap.into_sorted_vec(), oracle.keys, "final drain");
+    }
+
+    /// The pooled-representation fleet: a [`HeapPool`]-resident heap runs
+    /// the program against the sorted-vec oracle, with the slab counters
+    /// asserting that every same-pool meld is zero-copy, the cross-pool
+    /// fallback and clone-heap exercised mid-program, and a lazy heap
+    /// running the same inserts/melds *plus* deletes interleaved between
+    /// the zero-copy melds (against its own multiset oracle). `check_pool`
+    /// guards ownership + aliasing every eighth step.
+    #[test]
+    fn pooled_programs_match_oracles(
+        ops in proptest::collection::vec(pool_op_strategy(), 0..36),
+        p in 1usize..5,
+    ) {
+        let mut pool: HeapPool<i64> = HeapPool::new();
+        let mut main = pool.new_heap();
+        let mut pool_oracle = Oracle::default();
+        let mut lazy = LazyBinomialHeap::new(p);
+        let mut lazy_oracle = Oracle::default();
+        let mut handles: Vec<NodeId> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            let engine = if step % 2 == 0 { Engine::Sequential } else { Engine::Rayon };
+            match op {
+                PoolOp::Insert(k) => {
+                    pool.insert(&mut main, *k);
+                    pool_oracle.insert(*k);
+                    handles.push(lazy.insert(*k));
+                    lazy_oracle.insert(*k);
+                }
+                PoolOp::ExtractMin => {
+                    let got = pool.extract_min(&mut main, engine);
+                    prop_assert_eq!(got, pool_oracle.extract_min(), "pool extract at step {}", step);
+                    prop_assert_eq!(lazy.extract_min(), lazy_oracle.extract_min(),
+                        "lazy extract at step {}", step);
+                }
+                PoolOp::Min => {
+                    prop_assert_eq!(pool.min(&main), pool_oracle.min(), "pool min at step {}", step);
+                    prop_assert_eq!(lazy.min(), lazy_oracle.min(), "lazy min at step {}", step);
+                }
+                PoolOp::Meld(keys) => {
+                    let part = pool.from_keys(keys.iter().copied());
+                    let before = pool.stats();
+                    pool.meld(&mut main, part, engine);
+                    prop_assert_eq!(before, pool.stats(),
+                        "same-pool meld allocated or copied at step {}", step);
+                    for &k in keys { pool_oracle.insert(k); }
+                    lazy.meld(LazyBinomialHeap::from_keys_fast(p, keys.iter().copied()));
+                    for &k in keys { lazy_oracle.insert(k); }
+                }
+                PoolOp::CrossMeld(keys) => {
+                    let mut other: HeapPool<i64> = HeapPool::new();
+                    let h = other.from_keys(keys.iter().copied());
+                    pool.meld_cross_pool(&mut main, &mut other, h, engine);
+                    prop_assert_eq!(other.live_nodes(), 0, "source pool drained at step {}", step);
+                    for &k in keys { pool_oracle.insert(k); }
+                }
+                PoolOp::CloneCheck => {
+                    let copy = pool.clone_heap(&main);
+                    prop_assert_eq!(pool.into_sorted_vec(copy), pool_oracle.keys.clone(),
+                        "clone drain at step {}", step);
+                    if let Err(e) = pool.validate_heap(&main) {
+                        panic!("main corrupted by clone at step {step}: {e}");
+                    }
+                }
+                PoolOp::Delete(raw) => {
+                    handles.retain(|id| lazy.node_exists(*id) && !lazy.is_empty_node(*id));
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let victim = handles.swap_remove(raw % handles.len());
+                    let removed = lazy.delete(victim);
+                    prop_assert!(lazy_oracle.remove_one(removed),
+                        "deleted key {} absent from lazy oracle at step {}", removed, step);
+                }
+            }
+            if step % 8 == 7 {
+                if let Err(e) = check_pool(&pool, &[&main]) {
+                    panic!("pool invariants broken after step {step}: {e}");
+                }
+                if let Err(e) = lazy.check_invariants() {
+                    panic!("lazy invariants broken after step {step}: {e}");
+                }
+            }
+        }
+        if let Err(e) = check_pool(&pool, &[&main]) {
+            panic!("pool invariants broken after final step: {e}");
+        }
+        prop_assert_eq!(pool.into_sorted_vec(main), pool_oracle.keys, "pool drain");
+        prop_assert_eq!(lazy.into_sorted_vec(), lazy_oracle.keys, "lazy drain");
     }
 }

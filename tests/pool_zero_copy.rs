@@ -1,0 +1,139 @@
+//! The zero-copy contract of the pooled representation (ISSUE 4 tentpole):
+//! same-pool `Union` must perform **zero** node copies and **zero** fresh
+//! allocations — the [`meldpq::ArenaStats`] counters are the proof — while
+//! remaining semantically identical to the absorb-based heap, and the
+//! rebuilt bulk kernels must match their sequential oracles exactly.
+
+use meldpq::check::check_pool;
+use meldpq::{Engine, HeapPool, ParBinomialHeap};
+
+fn keys(n: usize, seed: i64) -> Vec<i64> {
+    (0..n as i64)
+        .map(|i| (i * 2654435761u64 as i64 + seed) % 99991)
+        .collect()
+}
+
+#[test]
+fn same_pool_meld_counts_zero_copies_and_allocs() {
+    let mut pool: HeapPool<i64> = HeapPool::new();
+    let mut acc = pool.from_keys(keys(513, 1));
+    let mut parts: Vec<meldpq::PooledHeap> = (0..6)
+        .map(|s| pool.from_keys(keys(100 + s, 7 * s as i64)))
+        .collect();
+    let before = pool.stats();
+    let slab_before = pool.arena().slab_len();
+    let mut total = acc.len();
+    for (i, part) in parts.drain(..).enumerate() {
+        total += part.len();
+        let engine = if i % 2 == 0 {
+            Engine::Sequential
+        } else {
+            Engine::Rayon
+        };
+        pool.meld(&mut acc, part, engine);
+        assert_eq!(acc.len(), total);
+    }
+    let after = pool.stats();
+    assert_eq!(before.allocs, after.allocs, "meld must not allocate nodes");
+    assert_eq!(before.copies, after.copies, "meld must not copy nodes");
+    assert_eq!(
+        slab_before,
+        pool.arena().slab_len(),
+        "meld must not grow the slab"
+    );
+    pool.validate_heap(&acc).unwrap();
+    check_pool(&pool, &[&acc]).unwrap();
+}
+
+#[test]
+fn pooled_meld_matches_absorb_meld_semantics() {
+    // The same meld sequence through both representations → same multiset,
+    // same binomial shape (root orders are forced by the lengths).
+    let mut pool: HeapPool<i64> = HeapPool::new();
+    let mut p_acc = pool.from_keys(keys(300, 5));
+    let mut h_acc = ParBinomialHeap::from_keys(keys(300, 5));
+    for s in 0..4 {
+        let ks = keys(90 + 13 * s, s as i64);
+        let part = pool.from_keys(ks.iter().copied());
+        pool.meld(&mut p_acc, part, Engine::Sequential);
+        h_acc.meld(ParBinomialHeap::from_keys(ks), Engine::Sequential);
+    }
+    assert_eq!(p_acc.len(), h_acc.len());
+    let p_roots: Vec<usize> = p_acc
+        .roots()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.map(|_| i))
+        .collect();
+    assert_eq!(p_roots, h_acc.root_orders());
+    assert_eq!(pool.into_sorted_vec(p_acc), h_acc.into_sorted_vec());
+}
+
+#[test]
+fn extract_min_interleaved_with_zero_copy_melds() {
+    let mut pool: HeapPool<i64> = HeapPool::new();
+    let mut h = pool.from_keys(keys(200, 3));
+    let mut reference = keys(200, 3);
+    for round in 0..5 {
+        for _ in 0..20 {
+            let got = pool.extract_min(&mut h, Engine::Sequential);
+            reference.sort_unstable();
+            assert_eq!(got, Some(reference.remove(0)));
+        }
+        let extra = keys(30, 100 + round);
+        let part = pool.from_keys(extra.iter().copied());
+        pool.meld(&mut h, part, Engine::Rayon);
+        reference.extend(extra);
+        pool.validate_heap(&h).unwrap();
+    }
+    reference.sort_unstable();
+    assert_eq!(pool.into_sorted_vec(h), reference);
+}
+
+#[test]
+fn parallel_pool_build_is_pure_allocation() {
+    let ks = keys(60_000, 9);
+    let mut pool: HeapPool<i64> = HeapPool::with_capacity(ks.len());
+    let h = pool.from_keys_parallel(&ks, Engine::Sequential);
+    assert_eq!(pool.stats().allocs, ks.len() as u64);
+    assert_eq!(pool.stats().copies, 0);
+    check_pool(&pool, &[&h]).unwrap();
+    let free = pool.into_heap(h);
+    free.validate().unwrap();
+    let mut expected = ks;
+    expected.sort_unstable();
+    assert_eq!(free.into_sorted_vec(), expected);
+}
+
+#[test]
+fn multi_extract_min_equals_k_sequential_extracts() {
+    let ks = keys(5_000, 13);
+    for k in [1usize, 31, 1024, 5_000] {
+        let mut fast = ParBinomialHeap::from_keys(ks.iter().copied());
+        let mut slow = ParBinomialHeap::from_keys(ks.iter().copied());
+        let got = fast.multi_extract_min(k, Engine::Rayon);
+        let mut expected = Vec::new();
+        for _ in 0..k {
+            expected.extend(slow.extract_min(Engine::Sequential));
+        }
+        assert_eq!(got, expected, "k={k}");
+        fast.validate().unwrap();
+        assert_eq!(fast.into_sorted_vec(), slow.into_sorted_vec(), "k={k}");
+    }
+}
+
+#[test]
+fn multiple_heaps_share_one_pool_without_aliasing() {
+    let mut pool: HeapPool<i64> = HeapPool::new();
+    let heaps: Vec<meldpq::PooledHeap> = (0..8)
+        .map(|s| pool.from_keys(keys(64 + s, s as i64)))
+        .collect();
+    let refs: Vec<&meldpq::PooledHeap> = heaps.iter().collect();
+    check_pool(&pool, &refs).unwrap();
+    // Clone one, mutate the original: still no aliasing anywhere.
+    let mut a = pool.clone_heap(&heaps[0]);
+    pool.extract_min(&mut a, Engine::Sequential);
+    let mut refs: Vec<&meldpq::PooledHeap> = heaps.iter().collect();
+    refs.push(&a);
+    check_pool(&pool, &refs).unwrap();
+}

@@ -14,9 +14,31 @@
 //! publish measurements.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// The summary of one finished benchmark, kept so `harness = false` mains
+/// can post-process results (write JSON trajectories, enforce perf gates).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every [`BenchResult`] recorded since the last call (process-wide).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
 
 /// How [`Bencher::iter_batched`] amortises setup (accepted, not acted on —
 /// the shim always times routine-only, excluding setup).
@@ -89,11 +111,18 @@ impl Bencher<'_> {
                 break;
             }
             let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            // Outputs are dropped *after* the clock stops (as upstream
+            // does): dropping a routine's result can cost far more than the
+            // routine — e.g. freeing a million-node arena after an
+            // O(log n) meld — and must not pollute the sample.
+            let mut outputs: Vec<O> = Vec::with_capacity(inputs.len());
             let start = Instant::now();
             for input in inputs {
-                black_box(routine(input));
+                outputs.push(black_box(routine(input)));
             }
-            self.samples.push(start.elapsed() / batch as u32);
+            let elapsed = start.elapsed();
+            drop(outputs);
+            self.samples.push(elapsed / batch as u32);
         }
     }
 
@@ -109,6 +138,12 @@ impl Bencher<'_> {
             "{id:<40} mean {mean:>12?}  min {min:>12?}  ({} samples)",
             self.samples.len()
         );
+        RESULTS.lock().expect("results lock").push(BenchResult {
+            id: id.to_owned(),
+            mean_ns: mean.as_nanos() as u64,
+            min_ns: min.as_nanos() as u64,
+            samples: self.samples.len(),
+        });
     }
 }
 
@@ -151,6 +186,41 @@ impl Criterion {
     /// Timed measurement budget per benchmark.
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.config.measurement_time = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Apply `--sample-size N`, `--warm-up-time SECS` and
+    /// `--measurement-time SECS` from the process arguments (the upstream
+    /// CLI knobs the CI quick mode uses); unknown arguments — e.g. the
+    /// `--bench` cargo appends — are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = args.get(i + 1);
+            match (args[i].as_str(), value) {
+                ("--sample-size", Some(v)) => {
+                    if let Ok(n) = v.parse::<usize>() {
+                        self = self.sample_size(n);
+                    }
+                    i += 1;
+                }
+                ("--warm-up-time", Some(v)) => {
+                    if let Ok(s) = v.parse::<f64>() {
+                        self = self.warm_up_time(Duration::from_secs_f64(s.max(0.0)));
+                    }
+                    i += 1;
+                }
+                ("--measurement-time", Some(v)) => {
+                    if let Ok(s) = v.parse::<f64>() {
+                        self = self.measurement_time(Duration::from_secs_f64(s.max(0.0)));
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
         self
     }
 
@@ -269,6 +339,26 @@ mod tests {
             b.iter_batched(|| n, spin, BatchSize::LargeInput)
         });
         group.finish();
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("record_me", |b| b.iter(|| spin(10)));
+        let rs = take_results();
+        assert!(rs
+            .iter()
+            .any(|r| r.id == "record_me" && r.samples >= 1 && r.mean_ns > 0));
+    }
+
+    #[test]
+    fn configure_from_args_ignores_unknown_flags() {
+        // No recognised flags in the test harness's argv — config unchanged.
+        let c = Criterion::default().sample_size(7).configure_from_args();
+        assert_eq!(c.config.sample_size, 7);
     }
 
     criterion_group!(smoke, smoke_target);
