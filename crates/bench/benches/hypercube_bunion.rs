@@ -17,11 +17,12 @@ fn bench_queue_throughput(c: &mut Criterion) {
                 let mut rng = workloads::rng(b as u64);
                 let mut pq = DistributedPq::new(q, b);
                 for _ in 0..256 {
-                    pq.insert(rng.gen_range(-1_000_000..1_000_000));
+                    pq.insert(rng.gen_range(-1_000_000..1_000_000))
+                        .expect("fault-free net");
                 }
                 let mut out = 0i64;
                 for _ in 0..256 {
-                    out ^= pq.extract_min().expect("nonempty");
+                    out ^= pq.extract_min().expect("fault-free net").expect("nonempty");
                 }
                 out
             })

@@ -91,8 +91,10 @@ fn theorem1(sizes: &Sizes, reg: &mut Registry, conf: &mut Vec<bounds::Conformanc
         time_samples.push((bounds::th1_union_time(total, p as f64), cost.time as f64));
         work_samples.push((bounds::th1_union_work(total), cost.work as f64));
     }
-    let env_time = Envelope::fit("theorem1", "union.time", &time_samples);
-    let env_work = Envelope::fit("theorem1", "union.work", &work_samples);
+    let env_time =
+        Envelope::fit("theorem1", "union.time", &time_samples).expect("t1 calibration ran");
+    let env_work =
+        Envelope::fit("theorem1", "union.work", &work_samples).expect("t1 calibration ran");
 
     let (cost, phases, p) = measure_union(sizes.t1_n, 0x11);
     reg.record("union/total", &cost);
@@ -181,8 +183,10 @@ fn theorem2(sizes: &Sizes, reg: &mut Registry, conf: &mut Vec<bounds::Conformanc
             total.work as f64 / ops as f64,
         ));
     }
-    let env_time = Envelope::fit("theorem2", "lazy.amortized.time", &time_samples);
-    let env_work = Envelope::fit("theorem2", "lazy.amortized.work", &work_samples);
+    let env_time = Envelope::fit("theorem2", "lazy.amortized.time", &time_samples)
+        .expect("t2 calibration ran");
+    let env_work = Envelope::fit("theorem2", "lazy.amortized.work", &work_samples)
+        .expect("t2 calibration ran");
 
     let n = sizes.t2_n;
     let (total, by_kind, ops) = run_lazy(n, 0x22);
@@ -216,14 +220,17 @@ fn run_distributed(q: usize, b: usize, ops: usize, seed: u64) -> (DistributedPq,
     let mut rng = workloads::rng(seed);
     let mut pq = DistributedPq::new(q, b);
     for _ in 0..ops {
-        pq.insert(rng.gen_range(-1_000_000..1_000_000));
+        pq.insert(rng.gen_range(-1_000_000..1_000_000))
+            .expect("fault-free net");
     }
     let mut other = DistributedPq::new(q, b);
     for _ in 0..ops / 2 {
-        other.insert(rng.gen_range(-1_000_000..1_000_000));
+        other
+            .insert(rng.gen_range(-1_000_000..1_000_000))
+            .expect("fault-free net");
     }
-    pq.meld(other);
-    while pq.extract_min().is_some() {}
+    pq.meld(other).expect("fault-free net");
+    while pq.extract_min().expect("fault-free net").is_some() {}
     let totals = pq
         .ledger()
         .iter()
@@ -244,7 +251,7 @@ fn theorem3(
         let n = (ops + ops / 2) as f64;
         samples.push((bounds::th3_bunion_time(n, b as f64, q as f64), per_multiop));
     }
-    let env = Envelope::fit("theorem3", "bunion.time", &samples);
+    let env = Envelope::fit("theorem3", "bunion.time", &samples).expect("t3 calibration ran");
 
     let (q, b, ops) = sizes.t3;
     let (pq, per_multiop, multis) = run_distributed(q, b, ops, 0x33);

@@ -524,10 +524,11 @@ pub fn theorem3(q: usize, bs: &[usize], n_ops: usize) -> Vec<T3Row> {
         let mut rng = workloads::rng(0x7_3 + b as u64);
         let mut pq = DistributedPq::new(q, b);
         for _ in 0..n_ops {
-            pq.insert(rng.gen_range(-1_000_000..1_000_000));
+            pq.insert(rng.gen_range(-1_000_000..1_000_000))
+                .expect("fault-free net");
         }
         let mut drained = 0usize;
-        while pq.extract_min().is_some() {
+        while pq.extract_min().expect("fault-free net").is_some() {
             drained += 1;
         }
         assert_eq!(drained, n_ops);
@@ -696,9 +697,10 @@ pub fn ablation_a3_measured(q: usize, b: usize, n_ops: usize) -> A3MeasuredRow {
         let mut rng = workloads::rng(0xA3);
         let mut pq = DistributedPq::with_mapping(q, b, kind);
         for _ in 0..n_ops {
-            pq.insert(rng.gen_range(-1_000_000..1_000_000));
+            pq.insert(rng.gen_range(-1_000_000..1_000_000))
+                .expect("fault-free net");
         }
-        while pq.extract_min().is_some() {}
+        while pq.extract_min().expect("fault-free net").is_some() {}
         let s = pq.net_stats();
         (s.time, s.word_hops)
     };

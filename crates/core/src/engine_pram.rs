@@ -149,21 +149,19 @@ pub fn build_plan_pram(
         carry,
         width,
         parscan::CarryStatus::Propagate.to_word(),
-        |l, r| {
-            parscan::compose_status(
-                parscan::CarryStatus::from_word(l),
-                parscan::CarryStatus::from_word(r),
-            )
-            .to_word()
-        },
+        parscan::compose_status_words,
     )?;
     // carry[i] currently holds the status prefix; collapse to a carry bit.
+    // A malformed word (or propagated poison) can only mean corrupted PRAM
+    // cells; it collapses to "no carry" here and is impossible for statuses
+    // written by Phase I above.
     m.par_for(width, |i, ctx| {
         let st = ctx.read(carry + i)?;
-        ctx.write(
-            carry + i,
-            (parscan::CarryStatus::from_word(st) == parscan::CarryStatus::Generate) as Word,
-        )
+        let is_generate = matches!(
+            parscan::CarryStatus::try_from_word(st),
+            Ok(parscan::CarryStatus::Generate)
+        );
+        ctx.write(carry + i, is_generate as Word)
     })?;
     // Shifted neighbours.
     if width > 1 {

@@ -21,17 +21,20 @@
 //! Hamiltonian prefixes for Phases I–II, child-address and dominant-root
 //! transfers of Phase III) executes on the [`hypercube`] simulator, which
 //! enforces single-port legality and meters time/words; the host mirrors the
-//! structure for validation.
+//! structure for validation. The transport is fault-injectable
+//! ([`hypercube::FaultyNet`]); every communicating operation returns
+//! `Result<_, `[`QueueError`]`>` and fail-stopped processors are rehomed
+//! onto their Gray-code successors.
 
 //! ```
 //! use dmpq::DistributedPq;
 //!
 //! let mut pq = DistributedPq::new(2, 4); // Q_2 cube, bandwidth 4
 //! for k in [7, 3, 9, 1, 5, 8, 2, 6] {
-//!     pq.insert(k);
+//!     pq.insert(k).unwrap(); // fault-free plan: errors cannot occur
 //! }
-//! assert_eq!(pq.extract_min(), Some(1));
-//! assert_eq!(pq.extract_min(), Some(2));
+//! assert_eq!(pq.extract_min().unwrap(), Some(1));
+//! assert_eq!(pq.extract_min().unwrap(), Some(2));
 //! // All data movement was metered on the single-port simulator:
 //! assert!(pq.net_stats().messages > 0);
 //! ```
@@ -42,4 +45,4 @@ pub mod queue;
 
 pub use bheap::{BbHeap, BbNodeId};
 pub use mapping::processor_of_degree;
-pub use queue::DistributedPq;
+pub use queue::{stats_delta, DOp, DistributedPq, QueueError};

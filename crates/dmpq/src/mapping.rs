@@ -70,6 +70,7 @@ pub fn load_per_processor(heap: &BbHeap, q: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hypercube::gray::is_adjacent;

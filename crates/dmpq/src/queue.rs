@@ -3,7 +3,8 @@
 //!
 //! Communication model: the logical b-binomial heap lives host-side (for
 //! validation), but every data movement the distributed algorithm performs
-//! is executed on the [`hypercube::NetSim`]:
+//! is executed on the [`hypercube::FaultyNet`] transport (a pure
+//! pass-through over [`hypercube::NetSim`] when the fault plan is empty):
 //!
 //! * **preprocessing** — all root keys are routed to bitonic blocks, sorted
 //!   on the cube, and the sorted chunks routed back to the roots (ordered by
@@ -20,11 +21,30 @@
 //! `Insert`/`Extract-Min` are buffered through `Waiting`/`Forehead` on the
 //! I/O processor and trigger `Multi-Insert`/`Multi-Extract-Min` every `b`
 //! operations — the amortization measured in experiment T3.
+//!
+//! # Fault tolerance
+//!
+//! Every operation that communicates returns `Result<_, `[`QueueError`]`>`.
+//! Message drops, duplicates, delays and corruption are absorbed below this
+//! layer by the transport's ack/retry protocol. Fail-stops surface here as
+//! [`NetError::Dead`] and trigger *rehoming*: the dead processor is banned
+//! from the degree→processor mapping, its resident b-nodes regenerate onto
+//! the Gray-code path successor (counted in `NetStats::rehomed_nodes`), a
+//! bounded outage is waited out, and the interrupted operation retries.
+//! Operations are structured so communication precedes irreversible host
+//! mutation (preprocessing is idempotent), which is what makes the retry
+//! sound. Death of the I/O processor (which owns `Forehead`/`Waiting`) is
+//! unrecoverable and reported as [`QueueError::IoProcDead`]. After an
+//! operation returns an error the queue may hold a partial state and should
+//! be abandoned — but it never panics.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::fmt;
 
-use hypercube::engine::{NetSim, NetStats, Word};
+use hypercube::engine::{NetError, NetStats, Network, Word};
+use hypercube::fault::{FaultPlan, FaultyNet};
+use hypercube::gray::{gray, gray_inv};
 use hypercube::prefix::hamiltonian_prefix_cyclic;
 use hypercube::routing::{route, Packet};
 use hypercube::sort::bitonic_sort;
@@ -37,13 +57,51 @@ use crate::mapping::{processor_for, MappingKind};
 /// Difference of two cumulative [`NetStats`] snapshots.
 ///
 /// Snapshot ordering contract: `after` must be the *later* snapshot of the
-/// same `NetSim` meter and no `reset_stats` may run between the two —
+/// same network meter and no `reset_stats` may run between the two —
 /// cumulative counters only grow, so under the contract every field of
 /// `after` dominates `before`. Delegates to [`NetStats::delta`], which
 /// saturates at zero instead of panicking in debug builds when the contract
 /// is broken (swapped arguments, an intervening reset).
 pub fn stats_delta(after: NetStats, before: NetStats) -> NetStats {
     after.delta(&before)
+}
+
+/// Why a queue operation failed. The queue never panics on network faults;
+/// it degrades to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueError {
+    /// A transport-level failure the recovery protocol could not absorb
+    /// (retry budget exhausted, permanent fail-stop, illegal pattern).
+    Net(NetError),
+    /// The I/O processor — owner of the `Forehead`/`Waiting` buffers —
+    /// fail-stopped. Its buffered items are gone; no rehoming can help.
+    IoProcDead {
+        /// The fail-stopped I/O processor.
+        node: usize,
+    },
+    /// An internal protocol invariant did not hold (e.g. a distributed scan
+    /// returned a malformed word); recoverable by abandoning the queue.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Net(e) => write!(f, "network failure: {e}"),
+            QueueError::IoProcDead { node } => {
+                write!(f, "I/O processor {node} fail-stopped; buffers lost")
+            }
+            QueueError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl From<NetError> for QueueError {
+    fn from(e: NetError) -> QueueError {
+        QueueError::Net(e)
+    }
 }
 
 /// Which queue operation a ledger entry belongs to.
@@ -60,7 +118,7 @@ pub enum DOp {
 /// The distributed meldable priority queue.
 #[derive(Debug)]
 pub struct DistributedPq {
-    net: NetSim,
+    net: FaultyNet,
     heap: BbHeap,
     /// Bandwidth `b`.
     pub b: usize,
@@ -77,19 +135,34 @@ pub struct DistributedPq {
     local_heap_ops: u64,
     /// Degree→processor mapping (Gray per the paper; Identity for A3).
     mapping: MappingKind,
+    /// Fail-stopped processors evicted from the mapping; their residents
+    /// were rehomed onto Gray-code successors.
+    banned: BTreeSet<usize>,
 }
 
 impl DistributedPq {
     /// A queue on a `q`-cube with bandwidth `b` (paper's Gray mapping).
     pub fn new(q: usize, b: usize) -> Self {
-        Self::with_mapping(q, b, MappingKind::Gray)
+        Self::with_config(q, b, MappingKind::Gray, FaultPlan::none())
     }
 
     /// A queue with an explicit degree→processor mapping (ablation A3 uses
     /// [`MappingKind::Identity`]).
     pub fn with_mapping(q: usize, b: usize, mapping: MappingKind) -> Self {
+        Self::with_config(q, b, mapping, FaultPlan::none())
+    }
+
+    /// A queue whose network runs under a seeded [`FaultPlan`] (the chaos
+    /// harness entry point; `FaultPlan::none()` is a zero-overhead
+    /// pass-through).
+    pub fn with_faults(q: usize, b: usize, plan: FaultPlan) -> Self {
+        Self::with_config(q, b, MappingKind::Gray, plan)
+    }
+
+    /// A queue with both an explicit mapping and a fault plan.
+    pub fn with_config(q: usize, b: usize, mapping: MappingKind, plan: FaultPlan) -> Self {
         DistributedPq {
-            net: NetSim::new(q),
+            net: FaultyNet::new(q, plan),
             heap: BbHeap::new(b),
             b,
             forehead: VecDeque::new(),
@@ -98,11 +171,28 @@ impl DistributedPq {
             ledger: Vec::new(),
             local_heap_ops: 0,
             mapping,
+            banned: BTreeSet::new(),
         }
     }
 
+    /// Home processor of a degree-`deg` node, steering around fail-stopped
+    /// processors: a banned home's residents regenerate onto the first live
+    /// Gray-code path successor (Definition 4's `Π` walked forward).
     fn proc_of(&self, deg: usize) -> usize {
-        processor_for(self.mapping, deg, self.net.q())
+        let home = processor_for(self.mapping, deg, self.net.q());
+        if !self.banned.contains(&home) {
+            return home;
+        }
+        let p = self.net.nodes();
+        let mut rank = gray_inv(home);
+        for _ in 0..p {
+            rank = (rank + 1) % p;
+            let cand = gray(rank);
+            if !self.banned.contains(&cand) {
+                return cand;
+            }
+        }
+        home
     }
 
     /// Items currently stored (heap + buffers).
@@ -115,9 +205,15 @@ impl DistributedPq {
         self.len() == 0
     }
 
-    /// Cumulative network statistics.
+    /// Cumulative network statistics (transport retries, redeliveries and
+    /// rehomed nodes included).
     pub fn net_stats(&self) -> NetStats {
         self.net.stats()
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.net.plan()
     }
 
     /// Per-link word loads (congestion profile; see
@@ -188,14 +284,87 @@ impl DistributedPq {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Fail-stop recovery
+    // ------------------------------------------------------------------
+
+    /// Run `body` and absorb [`NetError::Dead`] by rehoming the dead
+    /// processor's residents and retrying. Bodies must keep communication
+    /// ahead of irreversible host mutation and be idempotent up to their
+    /// last fallible call (all bodies in this module are). Bounded by the
+    /// processor count — each recovery permanently bans one processor.
+    fn recovering<T>(
+        &mut self,
+        mut body: impl FnMut(&mut Self) -> Result<T, QueueError>,
+    ) -> Result<T, QueueError> {
+        let max_recoveries = self.net.nodes();
+        let mut recoveries = 0;
+        loop {
+            match body(self) {
+                Err(QueueError::Net(NetError::Dead { node })) => {
+                    if node == self.io_proc {
+                        return Err(QueueError::IoProcDead { node });
+                    }
+                    if recoveries >= max_recoveries {
+                        return Err(QueueError::Net(NetError::Dead { node }));
+                    }
+                    recoveries += 1;
+                    self.rehome_dead(node);
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Evict a fail-stopped processor from the mapping. Its resident
+    /// b-nodes regenerate onto the Gray-code successor (the lazy empty-node
+    /// path: host truth is already complete, so regeneration is counted and
+    /// the mapping is flipped — subsequent routes address the successor).
+    /// A bounded outage is then waited out so full-cube collectives can run
+    /// again; a permanent outage leaves the retry to fail cleanly.
+    fn rehome_dead(&mut self, node: usize) {
+        if !self.banned.contains(&node) {
+            let mut rehomed = 0u64;
+            let mut stack: Vec<BbNodeId> = self.heap.roots.iter().flatten().copied().collect();
+            while let Some(id) = stack.pop() {
+                if self.proc_of(self.heap.degree(id)) == node {
+                    rehomed += 1;
+                }
+                stack.extend(self.heap.get(id).children.iter().copied());
+            }
+            self.banned.insert(node);
+            self.net.note_rehomed(rehomed);
+        }
+        if let Some(until) = self.net.down_until(node) {
+            let now = self.net.physical_rounds();
+            if until > now {
+                self.net.idle(until - now);
+            }
+        }
+        // Buffer invariants survive recovery untouched (they live on the
+        // I/O processor, which is alive or we would have bailed above); the
+        // heap side is revalidated by the harnesses after the retried
+        // operation completes.
+        debug_assert!(self
+            .forehead
+            .iter()
+            .zip(self.forehead.iter().skip(1))
+            .all(|(a, b)| a <= b));
+    }
+
+    // ------------------------------------------------------------------
+    // Buffered operations
+    // ------------------------------------------------------------------
+
     /// `Insert(Q, x)`: buffer in `Waiting`; flush `b` at a time.
-    pub fn insert(&mut self, key: i64) {
+    pub fn insert(&mut self, key: i64) -> Result<(), QueueError> {
         assert!(key < i64::MAX, "i64::MAX is the pad sentinel");
         self.waiting.push(Reverse(key));
         self.local_heap_ops += (self.waiting.len().max(2)).ilog2() as u64;
         if self.waiting.len() >= self.b {
-            self.flush_waiting();
+            self.flush_waiting()?;
         }
+        Ok(())
     }
 
     /// `Min(Q)`: smallest item currently stored (no mutation).
@@ -228,13 +397,13 @@ impl DistributedPq {
     }
 
     /// `Extract-Min(Q)`.
-    pub fn extract_min(&mut self) -> Option<i64> {
+    pub fn extract_min(&mut self) -> Result<Option<i64>, QueueError> {
         if self.forehead.is_empty() && self.heap.node_count() > 0 {
-            self.multi_extract_min();
+            self.multi_extract_min()?;
         }
         let from_forehead = self.forehead.front().copied();
         let from_waiting = self.waiting.peek().map(|Reverse(w)| *w);
-        match (from_forehead, from_waiting) {
+        Ok(match (from_forehead, from_waiting) {
             (None, None) => None,
             (Some(f), None) => {
                 self.forehead.pop_front();
@@ -254,66 +423,86 @@ impl DistributedPq {
                     Some(f)
                 }
             }
-        }
+        })
     }
 
     /// Drain everything in ascending order (consumes the queue).
-    pub fn into_sorted_vec(mut self) -> Vec<i64> {
+    pub fn into_sorted_vec(mut self) -> Result<Vec<i64>, QueueError> {
         let mut out = Vec::with_capacity(self.len());
-        while let Some(k) = self.extract_min() {
+        while let Some(k) = self.extract_min()? {
             out.push(k);
         }
-        out
+        Ok(out)
     }
 
     /// `Multi-Insert(H, K[1..b])` (paper Definition 5, operation 2): insert
     /// exactly `b` items directly into the b-binomial heap as a fresh `B_0`
     /// node, bypassing the buffers. Returns the communication delta.
-    pub fn multi_insert(&mut self, keys: Vec<i64>) -> NetStats {
+    pub fn multi_insert(&mut self, keys: Vec<i64>) -> Result<NetStats, QueueError> {
         assert_eq!(keys.len(), self.b, "Multi-Insert takes exactly b items");
         let before = self.net.stats();
-        let dst = self.proc_of(0);
-        if dst != self.io_proc {
-            route(
-                &mut self.net,
-                vec![Packet {
-                    src: self.io_proc,
-                    dst,
-                    payload: keys.iter().map(|&k| k as Word).collect(),
-                }],
-            )
-            .expect("legal route");
-        }
-        let id = self.heap.alloc(keys);
-        let single = vec![Some(id)];
-        let old = std::mem::take(&mut self.heap.roots);
-        self.heap.roots = self.b_union(&old, &single);
+        self.attach_chunk(keys)?;
         let delta = stats_delta(self.net.stats(), before);
         self.ledger.push((DOp::MultiInsert, delta));
-        delta
+        Ok(delta)
     }
 
     /// `Multi-Extract-Min(H)` (paper Definition 5, operation 3): remove and
     /// return the `b` smallest items of the b-binomial heap directly,
-    /// bypassing the buffers. Returns `None` when `H` is empty.
-    pub fn multi_extract_min_direct(&mut self) -> Option<Vec<i64>> {
-        if self.heap.node_count() == 0 {
-            return None;
+    /// bypassing the buffers. Returns `Ok(None)` when nothing is stored.
+    ///
+    /// A non-empty `Forehead` holds items extracted earlier — by the
+    /// Forehead invariant they are the globally smallest and are owed to
+    /// the caller first, so they are drained and returned as the chunk
+    /// (possibly shorter than `b`). This used to be a release-mode assert:
+    /// a recoverable protocol state must not abort the process.
+    pub fn multi_extract_min_direct(&mut self) -> Result<Option<Vec<i64>>, QueueError> {
+        if !self.forehead.is_empty() {
+            return Ok(Some(self.forehead.drain(..).collect()));
         }
-        // Any buffered Forehead items were extracted earlier and are owed to
-        // the caller first; the direct operation is only legal on an empty
-        // Forehead (the paper invokes it exactly then).
-        assert!(
-            self.forehead.is_empty(),
-            "Multi-Extract-Min fires only when Forehead is drained"
-        );
-        self.multi_extract_min();
-        Some(self.forehead.drain(..).collect())
+        if self.heap.node_count() == 0 {
+            return Ok(None);
+        }
+        self.multi_extract_min()?;
+        Ok(Some(self.forehead.drain(..).collect()))
+    }
+
+    /// Route a `b`-chunk from the I/O processor to `Π(0)` and meld it into
+    /// `H` as a fresh `B_0` node. The allocation is remembered across
+    /// fail-stop retries so a recovered attempt reuses the same node.
+    fn attach_chunk(&mut self, chunk: Vec<i64>) -> Result<(), QueueError> {
+        let payload: Vec<Word> = chunk.iter().map(|&k| k as Word).collect();
+        let mut alloced: Option<BbNodeId> = None;
+        let new_roots = self.recovering(|q| {
+            let dst = q.proc_of(0);
+            if dst != q.io_proc {
+                route(
+                    &mut q.net,
+                    vec![Packet {
+                        src: q.io_proc,
+                        dst,
+                        payload: payload.clone(),
+                    }],
+                )?;
+            }
+            let id = match alloced {
+                Some(id) => id,
+                None => {
+                    let id = q.heap.alloc(chunk.clone());
+                    alloced = Some(id);
+                    id
+                }
+            };
+            let old = q.heap.roots.clone();
+            q.b_union(&old, &[Some(id)])
+        })?;
+        self.heap.roots = new_roots;
+        Ok(())
     }
 
     /// `Multi-Insert`: move the largest `b` items of `Forehead ∪ Waiting`
     /// into `H` as a fresh `B_0` b-node (paper §5).
-    fn flush_waiting(&mut self) {
+    fn flush_waiting(&mut self) -> Result<(), QueueError> {
         debug_assert!(self.waiting.len() >= self.b);
         let before = self.net.stats();
         // Invariant at stake: Forehead may only hold items ≤ everything in
@@ -347,55 +536,54 @@ impl DistributedPq {
             }
         }
         // The chunk travels from the I/O processor to Π(0) (where a degree-0
-        // node lives).
-        let dst = self.proc_of(0);
-        if dst != self.io_proc {
-            route(
-                &mut self.net,
-                vec![Packet {
-                    src: self.io_proc,
-                    dst,
-                    payload: chunk.iter().map(|&k| k as Word).collect(),
-                }],
-            )
-            .expect("legal route");
-        }
-        let id = self.heap.alloc(chunk);
-        let single = vec![Some(id)];
-        let old = std::mem::take(&mut self.heap.roots);
-        self.heap.roots = self.b_union(&old, &single);
+        // node lives) and melds in.
+        self.attach_chunk(chunk)?;
         let delta = stats_delta(self.net.stats(), before);
         self.ledger.push((DOp::MultiInsert, delta));
+        Ok(())
     }
 
     /// `Multi-Extract-Min`: remove the chunk-minimal root, ship its `b` keys
     /// to the I/O processor (→ `Forehead`), and re-meld its children.
-    fn multi_extract_min(&mut self) {
+    fn multi_extract_min(&mut self) -> Result<(), QueueError> {
         debug_assert!(self.forehead.is_empty());
         let before = self.net.stats();
         // The chunk-order invariant makes the root with the smallest max key
         // hold the globally smallest b items. Metered as a min-reduction
-        // over the root positions (a Hamiltonian prefix).
-        let width = self.heap.roots.len();
-        let elements: Vec<Vec<Word>> = (0..width)
-            .map(|i| {
-                let k = self.heap.roots[i]
-                    .map(|r| self.heap.get(r).max_key())
-                    .unwrap_or(i64::MAX);
-                vec![k, i as Word]
-            })
-            .collect();
-        let reduced =
-            hamiltonian_prefix_cyclic(&mut self.net, &elements, &[i64::MAX, -1], |a, b| {
-                if b[0] < a[0] {
-                    b.to_vec()
-                } else {
-                    a.to_vec()
-                }
-            })
-            .expect("legal prefix");
-        let slot = reduced.last().expect("heap nonempty")[1] as usize;
-        let root = self.heap.roots[slot].expect("reduction found a root");
+        // over the root positions (a Hamiltonian prefix). Pure communication
+        // over host-read values: safe to retry wholesale.
+        let slot = self.recovering(|q| {
+            let width = q.heap.roots.len();
+            let elements: Vec<Vec<Word>> = (0..width)
+                .map(|i| {
+                    let k = q.heap.roots[i]
+                        .map(|r| q.heap.get(r).max_key())
+                        .unwrap_or(i64::MAX);
+                    vec![k, i as Word]
+                })
+                .collect();
+            let reduced =
+                hamiltonian_prefix_cyclic(&mut q.net, &elements, &[i64::MAX, -1], |a, b| {
+                    if b[0] < a[0] {
+                        b.to_vec()
+                    } else {
+                        a.to_vec()
+                    }
+                })?;
+            let last = reduced
+                .last()
+                .ok_or(QueueError::Protocol("min-reduction over an empty heap"))?;
+            Ok(last[1] as usize)
+        })?;
+        let root = self
+            .heap
+            .roots
+            .get(slot)
+            .copied()
+            .flatten()
+            .ok_or(QueueError::Protocol(
+                "min-reduction pointed at an empty root slot",
+            ))?;
         debug_assert_eq!(
             Some(self.heap.get(root).max_key()),
             self.heap
@@ -408,34 +596,38 @@ impl DistributedPq {
         self.heap.roots[slot] = None;
         self.heap.trim();
         let node = self.heap.dealloc(root);
-        // Ship the keys home.
-        let src = self.proc_of(slot);
-        if src != self.io_proc {
-            route(
-                &mut self.net,
-                vec![Packet {
-                    src,
-                    dst: self.io_proc,
-                    payload: node.keys.iter().map(|&k| k as Word).collect(),
-                }],
-            )
-            .expect("legal route");
-        }
+        // Ship the keys home (idempotent: retried wholesale on fail-stop).
+        let payload: Vec<Word> = node.keys.iter().map(|&k| k as Word).collect();
+        self.recovering(|q| {
+            let src = q.proc_of(slot);
+            if src != q.io_proc {
+                route(
+                    &mut q.net,
+                    vec![Packet {
+                        src,
+                        dst: q.io_proc,
+                        payload: payload.clone(),
+                    }],
+                )?;
+            }
+            Ok(())
+        })?;
         self.forehead = node.keys.into();
         // Children re-meld.
         let children: Vec<Option<BbNodeId>> = node.children.iter().copied().map(Some).collect();
         for c in &node.children {
             self.heap.get_mut(*c).parent = None;
         }
-        let old = std::mem::take(&mut self.heap.roots);
-        self.heap.roots = self.b_union(&old, &children);
+        let old = self.heap.roots.clone();
+        self.heap.roots = self.b_union(&old, &children)?;
         let delta = stats_delta(self.net.stats(), before);
         self.ledger.push((DOp::MultiExtractMin, delta));
+        Ok(())
     }
 
     /// Meld another queue into this one (`b-Union` of the heaps; buffers are
     /// merged at the I/O processor).
-    pub fn meld(&mut self, other: DistributedPq) {
+    pub fn meld(&mut self, other: DistributedPq) -> Result<(), QueueError> {
         assert_eq!(self.b, other.b, "bandwidths must match");
         assert_eq!(self.net.q(), other.net.q(), "cube sizes must match");
         let before = self.net.stats();
@@ -476,8 +668,8 @@ impl DistributedPq {
             }
             roots
         };
-        let old = std::mem::take(&mut self.heap.roots);
-        self.heap.roots = self.b_union(&old, &other_roots);
+        let old = self.heap.roots.clone();
+        self.heap.roots = self.b_union(&old, &other_roots)?;
         // Buffers merge at the I/O processor. Melding can break the
         // Forehead invariant (every item of H ≥ max(Forehead)), so the
         // conservative repair spills both Foreheads through Waiting and
@@ -493,10 +685,11 @@ impl DistributedPq {
             self.waiting.push(Reverse(w));
         }
         while self.waiting.len() >= self.b {
-            self.flush_waiting();
+            self.flush_waiting()?;
         }
         let delta = stats_delta(self.net.stats(), before);
         self.ledger.push((DOp::Union, delta));
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -523,52 +716,63 @@ impl DistributedPq {
             .collect()
     }
 
-    /// The `b-Union` of two root collections already in this arena.
+    /// The `b-Union` of two root collections already in this arena. The
+    /// caller assigns the returned roots on success; on error the heap's
+    /// roots are untouched (preprocessing may have re-dealt keys, which
+    /// preserves validity and the stored multiset).
     pub(crate) fn b_union(
         &mut self,
         r1: &[Option<BbNodeId>],
         r2: &[Option<BbNodeId>],
-    ) -> Vec<Option<BbNodeId>> {
+    ) -> Result<Vec<Option<BbNodeId>>, QueueError> {
         let _sp = obs::span("dmpq/b_union");
         let s1 = self.collection_size(r1);
         let s2 = self.collection_size(r2);
         if s1 + s2 == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        // Preprocess unconditionally: even a one-sided union must restore
-        // the global chunk order (e.g. the children of an extracted root are
-        // not chunk-ordered among themselves).
-        self.preprocess(r1, r2);
-        if s2 == 0 {
-            let mut out = r1.to_vec();
-            while matches!(out.last(), Some(None)) {
-                out.pop();
-            }
-            return out;
-        }
-        if s1 == 0 {
-            let mut out = r2.to_vec();
-            while matches!(out.last(), Some(None)) {
-                out.pop();
-            }
-            return out;
-        }
-
-        // ---- Phases I–II: host plan + metered Hamiltonian prefixes ----
         let width = plan_width(s1, s2);
-        let refs1 = self.refs_of(r1, width);
-        let refs2 = self.refs_of(r2, width);
-        let plan = build_plan_seq(&refs1, &refs2);
-        self.run_metered_phases(&plan);
-
-        // ---- Phase III: data movement, then host-side surgery ----
-        self.phase3_movement(&plan);
-        self.apply_plan(&plan)
+        // All communication (and the plan it mirrors) happens inside the
+        // recovery scope; host surgery applies only after it succeeds.
+        // Preprocessing is idempotent (re-dealing an already-dealt key
+        // multiset reproduces the same assignment), so a fail-stop retry
+        // re-runs the whole pipeline soundly.
+        let plan = self.recovering(|q| {
+            // Preprocess unconditionally: even a one-sided union must
+            // restore the global chunk order (e.g. the children of an
+            // extracted root are not chunk-ordered among themselves).
+            q.preprocess(r1, r2)?;
+            if s1 == 0 || s2 == 0 {
+                return Ok(None);
+            }
+            // ---- Phases I–II: host plan + metered Hamiltonian prefixes ----
+            let refs1 = q.refs_of(r1, width);
+            let refs2 = q.refs_of(r2, width);
+            let plan = build_plan_seq(&refs1, &refs2);
+            q.run_metered_phases(&plan)?;
+            // ---- Phase III: data movement ----
+            q.phase3_movement(&plan)?;
+            Ok(Some(plan))
+        })?;
+        match plan {
+            None => {
+                let mut out = if s2 == 0 { r1.to_vec() } else { r2.to_vec() };
+                while matches!(out.last(), Some(None)) {
+                    out.pop();
+                }
+                Ok(out)
+            }
+            Some(plan) => Ok(self.apply_plan(&plan)),
+        }
     }
 
     /// Preprocessing (paper §5): sort all root keys on the cube and deal the
     /// sorted chunks back to the roots ordered by old max key.
-    fn preprocess(&mut self, r1: &[Option<BbNodeId>], r2: &[Option<BbNodeId>]) {
+    fn preprocess(
+        &mut self,
+        r1: &[Option<BbNodeId>],
+        r2: &[Option<BbNodeId>],
+    ) -> Result<(), QueueError> {
         let _sp = obs::span("preprocess");
         let p = self.net.nodes();
         let all_roots: Vec<BbNodeId> = r1
@@ -578,7 +782,7 @@ impl DistributedPq {
             .copied()
             .collect();
         if all_roots.len() <= 1 {
-            return; // nothing to interleave
+            return Ok(()); // nothing to interleave
         }
         let b = self.b;
         let m_total = all_roots.len() * b;
@@ -610,10 +814,10 @@ impl DistributedPq {
                 }
             }
         }
-        route(&mut self.net, packets).expect("legal route");
+        route(&mut self.net, packets)?;
 
         // (2) Bitonic sort on the cube (metered).
-        let sorted = bitonic_sort(&mut self.net, &stream).expect("legal sort");
+        let sorted = bitonic_sort(&mut self.net, &stream)?;
 
         // (3) Tree order by old max key (ties by enumeration index).
         let mut order: Vec<usize> = (0..all_roots.len()).collect();
@@ -635,15 +839,18 @@ impl DistributedPq {
             }
             self.heap.get_mut(root).keys = chunk;
         }
-        route(&mut self.net, packets).expect("legal route");
+        route(&mut self.net, packets)?;
+        Ok(())
     }
 
     /// Phases I–II as metered Hamiltonian prefixes; asserts the distributed
     /// results agree with the host plan.
-    fn run_metered_phases(&mut self, plan: &UnionPlan) {
+    fn run_metered_phases(&mut self, plan: &UnionPlan) -> Result<(), QueueError> {
         let _sp = obs::span("phases1_2");
         let width = plan.width;
-        // Carry scan over KPG statuses.
+        // Carry scan over KPG statuses. The word-level composition is total
+        // (malformed operands collapse to the poison word), so the closure
+        // needs no panic path; poison is surfaced as a typed error below.
         let statuses: Vec<Vec<Word>> = (0..width)
             .map(|i| vec![parscan::carry_status(plan.a[i], plan.b[i]).to_word()])
             .collect();
@@ -651,17 +858,12 @@ impl DistributedPq {
             &mut self.net,
             &statuses,
             &[parscan::CarryStatus::Propagate.to_word()],
-            |l, r| {
-                vec![parscan::compose_status(
-                    parscan::CarryStatus::from_word(l[0]),
-                    parscan::CarryStatus::from_word(r[0]),
-                )
-                .to_word()]
-            },
-        )
-        .expect("legal prefix");
+            |l, r| vec![parscan::compose_status_words(l[0], r[0])],
+        )?;
         for (i, t) in carried.iter().enumerate().take(width) {
-            let c = parscan::CarryStatus::from_word(t[0]) == parscan::CarryStatus::Generate;
+            let st = parscan::CarryStatus::try_from_word(t[0])
+                .map_err(|_| QueueError::Protocol("carry scan produced a malformed word"))?;
+            let c = st == parscan::CarryStatus::Generate;
             debug_assert_eq!(c, plan.c[i], "distributed carry disagrees at {i}");
             let _ = c;
         }
@@ -683,8 +885,7 @@ impl DistributedPq {
                 } else {
                     vec![l[0], l[1], l[2]]
                 }
-            })
-            .expect("legal prefix");
+            })?;
         for (i, t) in minima.iter().enumerate().take(width) {
             let got = (t[2] != -1).then_some(t[2] as u32);
             debug_assert_eq!(
@@ -694,11 +895,12 @@ impl DistributedPq {
             );
             let _ = got;
         }
+        Ok(())
     }
 
     /// Phase III communication: child addresses to dominants, changed-degree
     /// roots to their new processors.
-    fn phase3_movement(&mut self, plan: &UnionPlan) {
+    fn phase3_movement(&mut self, plan: &UnionPlan) -> Result<(), QueueError> {
         let _sp = obs::span("rehome");
         let mut packets: Vec<Packet> = Vec::new();
         for l in &plan.links {
@@ -715,7 +917,7 @@ impl DistributedPq {
                 });
             }
         }
-        route(&mut self.net, packets).expect("legal route");
+        route(&mut self.net, packets)?;
 
         // Roots whose degree changes relocate with their whole record:
         // b keys + child table + header.
@@ -737,7 +939,8 @@ impl DistributedPq {
                 });
             }
         }
-        route(&mut self.net, packets).expect("legal route");
+        route(&mut self.net, packets)?;
+        Ok(())
     }
 
     /// Host-side structural surgery mirroring the movement.
@@ -772,6 +975,7 @@ impl meldpq::CheckedPq for DistributedPq {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -781,13 +985,13 @@ mod tests {
         let mut pq = DistributedPq::new(2, 4);
         let keys = [9, 3, 7, 1, 8, 2, 6, 4, 5, 0, 11, 10];
         for &k in &keys {
-            pq.insert(k);
+            pq.insert(k).unwrap();
         }
         assert_eq!(pq.len(), keys.len());
         pq.heap().validate().unwrap();
         let mut expected = keys.to_vec();
         expected.sort_unstable();
-        assert_eq!(pq.into_sorted_vec(), expected);
+        assert_eq!(pq.into_sorted_vec().unwrap(), expected);
     }
 
     #[test]
@@ -795,7 +999,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut pq = DistributedPq::new(3, 4);
         for _ in 0..64 {
-            pq.insert(rng.gen_range(-1000..1000));
+            pq.insert(rng.gen_range(-1000..1000)).unwrap();
         }
         pq.heap().validate().unwrap();
         pq.heap().validate_chunk_order().unwrap();
@@ -812,10 +1016,10 @@ mod tests {
             for _ in 0..300 {
                 if rng.gen_bool(0.6) || oracle.is_empty() {
                     let k = rng.gen_range(-10_000..10_000);
-                    pq.insert(k);
+                    pq.insert(k).unwrap();
                     oracle.push(k);
                 } else {
-                    let got = pq.extract_min();
+                    let got = pq.extract_min().unwrap();
                     let (idx, _) = oracle
                         .iter()
                         .enumerate()
@@ -828,7 +1032,7 @@ mod tests {
             }
             pq.heap().validate().unwrap();
             oracle.sort_unstable();
-            assert_eq!(pq.into_sorted_vec(), oracle, "trial {trial}");
+            assert_eq!(pq.into_sorted_vec().unwrap(), oracle, "trial {trial}");
         }
     }
 
@@ -836,11 +1040,11 @@ mod tests {
     fn min_is_nondestructive_and_correct() {
         let mut pq = DistributedPq::new(2, 3);
         for k in [5, 9, 1, 7, 3, 8] {
-            pq.insert(k);
+            pq.insert(k).unwrap();
         }
         assert_eq!(pq.min(), Some(1));
         assert_eq!(pq.len(), 6);
-        assert_eq!(pq.extract_min(), Some(1));
+        assert_eq!(pq.extract_min().unwrap(), Some(1));
         assert_eq!(pq.min(), Some(3));
     }
 
@@ -849,20 +1053,20 @@ mod tests {
         let mut a = DistributedPq::new(2, 4);
         let mut b = DistributedPq::new(2, 4);
         for k in 0..20 {
-            a.insert(k * 2); // evens
-            b.insert(k * 2 + 1); // odds
+            a.insert(k * 2).unwrap(); // evens
+            b.insert(k * 2 + 1).unwrap(); // odds
         }
-        a.meld(b);
+        a.meld(b).unwrap();
         a.heap().validate().unwrap();
         assert_eq!(a.len(), 40);
-        assert_eq!(a.into_sorted_vec(), (0..40).collect::<Vec<_>>());
+        assert_eq!(a.into_sorted_vec().unwrap(), (0..40).collect::<Vec<_>>());
     }
 
     #[test]
     fn ledger_records_multi_operations() {
         let mut pq = DistributedPq::new(2, 4);
         for k in 0..16 {
-            pq.insert(k);
+            pq.insert(k).unwrap();
         }
         let multi_inserts = pq
             .ledger()
@@ -871,7 +1075,7 @@ mod tests {
             .count();
         assert_eq!(multi_inserts, 4); // 16 inserts / b=4
         assert!(pq.net_stats().messages > 0);
-        while pq.extract_min().is_some() {}
+        while pq.extract_min().unwrap().is_some() {}
         assert!(pq
             .ledger()
             .iter()
@@ -882,43 +1086,62 @@ mod tests {
     fn duplicates_and_negatives() {
         let mut pq = DistributedPq::new(1, 2);
         for k in [-5, -5, 0, 0, 3, 3, -5, 1] {
-            pq.insert(k);
+            pq.insert(k).unwrap();
         }
-        assert_eq!(pq.into_sorted_vec(), vec![-5, -5, -5, 0, 0, 1, 3, 3]);
+        assert_eq!(
+            pq.into_sorted_vec().unwrap(),
+            vec![-5, -5, -5, 0, 0, 1, 3, 3]
+        );
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod multiop_tests {
     use super::*;
 
     #[test]
     fn direct_multi_insert_and_extract() {
         let mut pq = DistributedPq::new(2, 4);
-        pq.multi_insert(vec![9, 1, 5, 3]);
-        pq.multi_insert(vec![8, 2, 6, 4]);
+        pq.multi_insert(vec![9, 1, 5, 3]).unwrap();
+        pq.multi_insert(vec![8, 2, 6, 4]).unwrap();
         pq.heap().validate().unwrap();
         pq.heap().validate_chunk_order().unwrap();
         assert_eq!(pq.len(), 8);
-        let chunk = pq.multi_extract_min_direct().expect("nonempty");
+        let chunk = pq.multi_extract_min_direct().unwrap().expect("nonempty");
         assert_eq!(chunk, vec![1, 2, 3, 4]);
-        let chunk = pq.multi_extract_min_direct().expect("nonempty");
+        let chunk = pq.multi_extract_min_direct().unwrap().expect("nonempty");
         assert_eq!(chunk, vec![5, 6, 8, 9]);
-        assert_eq!(pq.multi_extract_min_direct(), None);
+        assert_eq!(pq.multi_extract_min_direct().unwrap(), None);
+    }
+
+    #[test]
+    fn direct_extract_with_nonempty_forehead_drains_buffer_first() {
+        // Regression: this used to be a release-mode assert (abort). The
+        // buffered items are the globally smallest, so a direct extract on a
+        // non-empty Forehead must hand them over, not panic.
+        let mut pq = DistributedPq::new(2, 2);
+        for k in [5, 1, 4, 2, 3, 0] {
+            pq.insert(k).unwrap();
+        }
+        assert_eq!(pq.extract_min().unwrap(), Some(0));
+        let buffered = pq.multi_extract_min_direct().unwrap().expect("buffered");
+        assert_eq!(buffered, vec![1]);
+        assert_eq!(pq.into_sorted_vec().unwrap(), vec![2, 3, 4, 5]);
     }
 
     #[test]
     #[should_panic(expected = "exactly b items")]
     fn multi_insert_rejects_wrong_width() {
         let mut pq = DistributedPq::new(2, 4);
-        pq.multi_insert(vec![1, 2]);
+        let _ = pq.multi_insert(vec![1, 2]);
     }
 
     #[test]
     fn direct_ops_are_metered() {
         let mut pq = DistributedPq::new(3, 8);
-        let d1 = pq.multi_insert((0..8).collect());
-        let d2 = pq.multi_insert((8..16).collect());
+        let d1 = pq.multi_insert((0..8).collect()).unwrap();
+        let d2 = pq.multi_insert((8..16).collect()).unwrap();
         // The second insert must meld with an existing tree: more traffic.
         assert!(d2.messages >= d1.messages);
         assert!(pq.net_stats().time > 0);
@@ -928,8 +1151,8 @@ mod multiop_tests {
     fn stats_delta_saturates_on_swapped_snapshots() {
         let mut pq = DistributedPq::new(2, 4);
         let before = pq.net_stats();
-        pq.multi_insert(vec![9, 1, 5, 3]);
-        pq.multi_insert(vec![8, 2, 6, 4]);
+        pq.multi_insert(vec![9, 1, 5, 3]).unwrap();
+        pq.multi_insert(vec![8, 2, 6, 4]).unwrap();
         let after = pq.net_stats();
         let d = stats_delta(after, before);
         assert!(d.messages > 0);
@@ -937,5 +1160,90 @@ mod multiop_tests {
         // contract violation now degrades to zeroed fields.
         let swapped = stats_delta(before, after);
         assert_eq!(swapped, NetStats::default());
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn queue_survives_droppy_network() {
+        let plan = FaultPlan::seeded(99)
+            .with_drop(0.2)
+            .with_duplicate(0.1)
+            .with_retries(64);
+        let mut pq = DistributedPq::with_faults(2, 4, plan);
+        for k in (0..32).rev() {
+            pq.insert(k).unwrap();
+        }
+        pq.validate().unwrap();
+        assert!(pq.net_stats().retries > 0, "0.2 drop must cost retries");
+        assert_eq!(pq.into_sorted_vec().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_seed_replays_identical_ledger() {
+        let mk = || {
+            FaultPlan::seeded(1234)
+                .with_drop(0.15)
+                .with_delay(0.1)
+                .with_corrupt(0.1)
+                .with_retries(64)
+        };
+        let run = |plan: FaultPlan| {
+            let mut pq = DistributedPq::with_faults(2, 4, plan);
+            for k in 0..24 {
+                pq.insert((k * 7) % 24).unwrap();
+            }
+            for _ in 0..8 {
+                pq.extract_min().unwrap();
+            }
+            (pq.net_stats(), pq.ledger().to_vec())
+        };
+        let (s1, l1) = run(mk());
+        let (s2, l2) = run(mk());
+        assert_eq!(s1, s2);
+        assert_eq!(l1, l2);
+        assert!(s1.has_fault_activity());
+    }
+
+    #[test]
+    fn bounded_fail_stop_rehomes_and_recovers() {
+        // Π-path processor 1 crashes mid-workload for a long outage; the
+        // retry budget cannot ride it out, so the queue must rehome node 1's
+        // residents onto the Gray successor, wait out the outage, and retry.
+        let plan = FaultPlan::seeded(7)
+            .with_retries(4)
+            .with_fail_stop(1, 60, 5_000);
+        let mut pq = DistributedPq::with_faults(2, 2, plan);
+        for k in 0..24 {
+            pq.insert(k).unwrap();
+        }
+        pq.validate().unwrap();
+        assert!(
+            pq.net_stats().rehomed_nodes > 0,
+            "the outage window must force a rehoming"
+        );
+        assert_eq!(pq.into_sorted_vec().unwrap(), (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn io_proc_death_is_a_clean_typed_error() {
+        let plan = FaultPlan::seeded(3).with_retries(2).with_fail_stop(
+            0,
+            0,
+            hypercube::FailStop::PERMANENT,
+        );
+        let mut pq = DistributedPq::with_faults(2, 2, plan);
+        let mut saw_err = None;
+        for k in 0..8 {
+            if let Err(e) = pq.insert(k) {
+                saw_err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(saw_err, Some(QueueError::IoProcDead { node: 0 }));
     }
 }

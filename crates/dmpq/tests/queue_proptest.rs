@@ -1,6 +1,8 @@
 //! Property-based tests of the distributed queue: arbitrary op mixes across
 //! cube sizes, bandwidths, and both mappings, against a multiset oracle.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure mode
+
 use dmpq::mapping::MappingKind;
 use dmpq::DistributedPq;
 use proptest::prelude::*;
@@ -42,11 +44,11 @@ proptest! {
         for op in ops {
             match op {
                 Op::Insert(k) => {
-                    pq.insert(k);
+                    pq.insert(k).expect("insert");
                     oracle.push(k);
                 }
                 Op::ExtractMin => {
-                    let got = pq.extract_min();
+                    let got = pq.extract_min().expect("extract");
                     let want = oracle
                         .iter()
                         .enumerate()
@@ -63,10 +65,10 @@ proptest! {
                 Op::Meld(keys) => {
                     let mut other = DistributedPq::with_mapping(q, b, kind);
                     for &k in &keys {
-                        other.insert(k);
+                        other.insert(k).expect("insert");
                         oracle.push(k);
                     }
-                    pq.meld(other);
+                    pq.meld(other).expect("meld");
                 }
             }
             prop_assert_eq!(pq.len(), oracle.len());
@@ -74,7 +76,7 @@ proptest! {
         }
         let mut expected = oracle;
         expected.sort_unstable();
-        prop_assert_eq!(pq.into_sorted_vec(), expected);
+        prop_assert_eq!(pq.into_sorted_vec().expect("drain"), expected);
     }
 
     /// The structural isomorphism carries over: the b-heap's tree orders are
@@ -86,7 +88,7 @@ proptest! {
     ) {
         let mut pq = DistributedPq::new(2, b);
         for k in 0..(n_chunks * b) as i64 {
-            pq.insert(k);
+            pq.insert(k).expect("insert");
         }
         let nodes = pq.heap().node_count();
         prop_assert_eq!(nodes, n_chunks);
@@ -108,10 +110,10 @@ fn regression_meld_overfilled_waiting_keeps_forehead_sound() {
     let meld_in = |pq: &mut DistributedPq, keys: &[i64], oracle: &mut Vec<i64>| {
         let mut other = DistributedPq::new(2, 3);
         for &k in keys {
-            other.insert(k);
+            other.insert(k).expect("insert");
             oracle.push(k);
         }
-        pq.meld(other);
+        pq.meld(other).expect("meld");
     };
     meld_in(
         &mut pq,
@@ -119,18 +121,18 @@ fn regression_meld_overfilled_waiting_keeps_forehead_sound() {
         &mut oracle,
     );
     for k in [-82528, -98798, -61569] {
-        pq.insert(k);
+        pq.insert(k).expect("insert");
         oracle.push(k);
     }
     let extract = |pq: &mut DistributedPq, oracle: &mut Vec<i64>| {
-        let got = pq.extract_min();
+        let got = pq.extract_min().expect("extract");
         let (i, _) = oracle.iter().enumerate().min_by_key(|(_, k)| **k).unwrap();
         assert_eq!(got, Some(oracle.swap_remove(i)));
     };
     extract(&mut pq, &mut oracle);
     extract(&mut pq, &mut oracle);
     extract(&mut pq, &mut oracle);
-    pq.insert(-97421);
+    pq.insert(-97421).expect("insert");
     oracle.push(-97421);
     extract(&mut pq, &mut oracle);
     meld_in(
@@ -138,10 +140,10 @@ fn regression_meld_overfilled_waiting_keeps_forehead_sound() {
         &[78564, 40430, -85368, -56273, 34023, 34719, 1119, 16580],
         &mut oracle,
     );
-    pq.insert(44787);
+    pq.insert(44787).expect("insert");
     oracle.push(44787);
     // The original failure: returned -78115 while -85368 was still in H.
     extract(&mut pq, &mut oracle);
     oracle.sort_unstable();
-    assert_eq!(pq.into_sorted_vec(), oracle);
+    assert_eq!(pq.into_sorted_vec().unwrap(), oracle);
 }

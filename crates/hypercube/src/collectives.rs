@@ -6,32 +6,46 @@
 //! variant, but a complete hypercube substrate ships the full set, and the
 //! tests double as single-port legality proofs for the classic schedules.
 
-use crate::engine::{NetError, NetSim, Send, Word};
+use crate::engine::{NetError, Network, Send, Word};
 use crate::routing::{route, Packet};
+
+/// A value the collective schedule guarantees present is missing — a
+/// protocol violation surfaced as a typed error (attempts = 0 marks it as a
+/// schedule fault, not a transport retry exhaustion) instead of a panic.
+fn holder_missing(node: usize) -> NetError {
+    NetError::Timeout { node, attempts: 0 }
+}
 
 /// Binomial-tree broadcast from `root`: after `q` rounds every node holds
 /// `payload`. Returns the per-node copies.
-pub fn broadcast(
-    net: &mut NetSim,
+pub fn broadcast<N: Network>(
+    net: &mut N,
     root: usize,
     payload: Vec<Word>,
 ) -> Result<Vec<Vec<Word>>, NetError> {
     let _sp = obs::span("hc/broadcast");
     let n = net.nodes();
-    assert!(root < n);
+    if root >= n {
+        return Err(NetError::BadNode {
+            node: root,
+            size: n,
+        });
+    }
     let mut have: Vec<Option<Vec<Word>>> = vec![None; n];
     have[root] = Some(payload);
     for d in 0..net.q() {
         let sends: Vec<Send> = (0..n)
-            .filter(|&node| {
+            .filter_map(|node| {
                 // Nodes whose relative label fits in d bits already hold the
                 // payload; they fan out across dimension d.
-                have[node].is_some() && (node ^ root) < (1 << d).max(1)
-            })
-            .map(|node| Send {
-                from: node,
-                to: node ^ (1 << d),
-                payload: have[node].clone().expect("holder"),
+                if (node ^ root) >= (1 << d).max(1) {
+                    return None;
+                }
+                have[node].as_ref().map(|p| Send {
+                    from: node,
+                    to: node ^ (1 << d),
+                    payload: p.clone(),
+                })
             })
             .collect();
         let inbox = net.round(sends)?;
@@ -42,55 +56,63 @@ pub fn broadcast(
             }
         }
     }
-    Ok(have
-        .into_iter()
-        .map(|p| p.expect("broadcast reaches everyone"))
-        .collect())
+    have.into_iter()
+        .enumerate()
+        .map(|(node, p)| p.ok_or_else(|| holder_missing(node)))
+        .collect()
 }
 
 /// Binomial-tree reduction to `root`: combines all nodes' values with `op`
 /// in `q` rounds; the result lands at `root` (left operand = lower relative
 /// label, so non-commutative operators see a fixed order).
-pub fn reduce(
-    net: &mut NetSim,
+pub fn reduce<N: Network>(
+    net: &mut N,
     root: usize,
     values: Vec<Vec<Word>>,
     op: impl Fn(&[Word], &[Word]) -> Vec<Word>,
 ) -> Result<Vec<Word>, NetError> {
     let _sp = obs::span("hc/reduce");
     let n = net.nodes();
+    if root >= n {
+        return Err(NetError::BadNode {
+            node: root,
+            size: n,
+        });
+    }
     assert_eq!(values.len(), n);
     let mut acc: Vec<Option<Vec<Word>>> = values.into_iter().map(Some).collect();
     for d in (0..net.q()).rev() {
         // Senders: relative label has bit d set and all higher bits clear.
-        let sends: Vec<Send> = (0..n)
-            .filter(|&node| {
-                let rel = node ^ root;
-                rel >> d == 1
-            })
-            .map(|node| Send {
+        let mut sends: Vec<Send> = Vec::new();
+        for (node, slot) in acc.iter_mut().enumerate() {
+            let rel = node ^ root;
+            if rel >> d != 1 {
+                continue;
+            }
+            let payload = slot.take().ok_or_else(|| holder_missing(node))?;
+            sends.push(Send {
                 from: node,
                 to: node ^ (1 << d),
-                payload: acc[node].take().expect("sender still holds a value"),
-            })
-            .collect();
+                payload,
+            });
+        }
         let inbox = net.round(sends)?;
         for (node, got) in inbox.into_iter().enumerate() {
             if let Some((_, theirs)) = got {
-                let mine = acc[node].take().expect("receiver holds a value");
+                let mine = acc[node].take().ok_or_else(|| holder_missing(node))?;
                 // Receiver has the lower relative label: it is the left operand.
                 acc[node] = Some(op(&mine, &theirs));
             }
         }
     }
-    Ok(acc[root].take().expect("root holds the total"))
+    acc[root].take().ok_or_else(|| holder_missing(root))
 }
 
 /// Dimension-exchange all-reduce: every node ends with the total, `q` full
 /// exchange rounds. Requires a commutative-enough usage or acceptance of
 /// the butterfly order (left operand = lower label on each link).
-pub fn all_reduce(
-    net: &mut NetSim,
+pub fn all_reduce<N: Network>(
+    net: &mut N,
     values: Vec<Vec<Word>>,
     op: impl Fn(&[Word], &[Word]) -> Vec<Word>,
 ) -> Result<Vec<Vec<Word>>, NetError> {
@@ -102,7 +124,7 @@ pub fn all_reduce(
         let payloads: Vec<Option<Vec<Word>>> = acc.iter().cloned().map(Some).collect();
         let inbox = net.exchange(d, payloads)?;
         for node in 0..n {
-            let (_, theirs) = inbox[node].clone().expect("full exchange");
+            let (_, theirs) = inbox[node].clone().ok_or_else(|| holder_missing(node))?;
             let mine = &acc[node];
             acc[node] = if node & (1 << d) == 0 {
                 op(mine, &theirs)
@@ -116,13 +138,19 @@ pub fn all_reduce(
 
 /// Gather all nodes' payloads at `root` (e-cube routed; the root's single
 /// port makes this inherently `Ω(P)` rounds — measured, not hidden).
-pub fn gather(
-    net: &mut NetSim,
+pub fn gather<N: Network>(
+    net: &mut N,
     root: usize,
     values: Vec<Vec<Word>>,
 ) -> Result<Vec<(usize, Vec<Word>)>, NetError> {
     let _sp = obs::span("hc/gather");
     let n = net.nodes();
+    if root >= n {
+        return Err(NetError::BadNode {
+            node: root,
+            size: n,
+        });
+    }
     assert_eq!(values.len(), n);
     let packets: Vec<Packet> = values
         .into_iter()
@@ -142,8 +170,10 @@ pub fn gather(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::engine::NetSim;
 
     #[test]
     fn broadcast_reaches_all_nodes_every_root() {

@@ -55,6 +55,23 @@ pub enum NetError {
         /// The offending node.
         node: usize,
     },
+    /// Delivery to `node` failed even after exhausting the retry budget.
+    Timeout {
+        /// The unreachable node.
+        node: usize,
+        /// Attempts spent (initial send + retries).
+        attempts: u32,
+    },
+    /// A payload kept failing its CRC check past the retry budget.
+    Corrupt {
+        /// The receiver that kept seeing bad checksums.
+        node: usize,
+    },
+    /// A fail-stopped processor made delivery impossible.
+    Dead {
+        /// The fail-stopped node.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -68,6 +85,16 @@ impl std::fmt::Display for NetError {
             NetError::MultiReceive { node } => {
                 write!(f, "node {node} would receive twice in one round")
             }
+            NetError::Timeout { node, attempts } => {
+                write!(
+                    f,
+                    "delivery to node {node} timed out after {attempts} attempts"
+                )
+            }
+            NetError::Corrupt { node } => {
+                write!(f, "node {node} kept receiving corrupt payloads")
+            }
+            NetError::Dead { node } => write!(f, "node {node} is fail-stopped"),
         }
     }
 }
@@ -85,6 +112,15 @@ pub struct NetStats {
     pub messages: u64,
     /// Total words moved across links (payload words × 1 hop each).
     pub word_hops: u64,
+    /// Resends issued by the ack/retry recovery protocol
+    /// (see [`crate::fault::FaultyNet`]); 0 on a fault-free transport.
+    pub retries: u64,
+    /// Duplicate deliveries detected and discarded by the receiver
+    /// (spurious duplicates, delayed copies racing a retry).
+    pub redeliveries: u64,
+    /// b-bandwidth heap nodes regenerated onto a new home processor after a
+    /// fail-stop (counted by the `dmpq` recovery layer).
+    pub rehomed_nodes: u64,
 }
 
 impl NetStats {
@@ -96,6 +132,9 @@ impl NetStats {
             rounds: self.rounds + other.rounds,
             messages: self.messages + other.messages,
             word_hops: self.word_hops + other.word_hops,
+            retries: self.retries + other.retries,
+            redeliveries: self.redeliveries + other.redeliveries,
+            rehomed_nodes: self.rehomed_nodes + other.rehomed_nodes,
         }
     }
 
@@ -112,7 +151,15 @@ impl NetStats {
             rounds: self.rounds.saturating_sub(before.rounds),
             messages: self.messages.saturating_sub(before.messages),
             word_hops: self.word_hops.saturating_sub(before.word_hops),
+            retries: self.retries.saturating_sub(before.retries),
+            redeliveries: self.redeliveries.saturating_sub(before.redeliveries),
+            rehomed_nodes: self.rehomed_nodes.saturating_sub(before.rehomed_nodes),
         }
+    }
+
+    /// Whether any fault-recovery counter is nonzero.
+    pub fn has_fault_activity(&self) -> bool {
+        self.retries != 0 || self.redeliveries != 0 || self.rehomed_nodes != 0
     }
 }
 
@@ -122,7 +169,17 @@ impl std::fmt::Display for NetStats {
             f,
             "time={} rounds={} messages={} word_hops={}",
             self.time, self.rounds, self.messages, self.word_hops
-        )
+        )?;
+        // Fault counters only appear once recovery did something, so
+        // fault-free runs keep the historical (and golden-tested) format.
+        if self.has_fault_activity() {
+            write!(
+                f,
+                " retries={} redeliveries={} rehomed_nodes={}",
+                self.retries, self.redeliveries, self.rehomed_nodes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -136,6 +193,9 @@ impl obs::Recorder for NetStats {
             ("rounds", self.rounds),
             ("messages", self.messages),
             ("word_hops", self.word_hops),
+            ("retries", self.retries),
+            ("redeliveries", self.redeliveries),
+            ("rehomed_nodes", self.rehomed_nodes),
         ]
     }
 }
@@ -196,19 +256,14 @@ impl NetSim {
         self.link_words.clear();
     }
 
-    /// Execute one synchronous round. Returns, for each node, the message it
-    /// received (if any) as `(from, payload)`.
-    pub fn round(&mut self, sends: Vec<Send>) -> Result<Inbox, NetError> {
+    /// Check a round's send pattern against the model (node ranges,
+    /// adjacency, single-port send/receive) without executing it. The
+    /// fault-injection wrapper validates up front so that its retry
+    /// sub-rounds only ever carry known-legal subsets.
+    pub fn validate_sends(&self, sends: &[Send]) -> Result<(), NetError> {
         let n = self.nodes();
-        let mut inbox: Inbox = vec![None; n];
-        if sends.is_empty() {
-            return Ok(inbox);
-        }
         let mut sent = vec![false; n];
-        let mut max_payload = 1u64;
-        let mut words = 0u64;
-        let count = sends.len() as u64;
-        for s in &sends {
+        for s in sends {
             if s.from >= n {
                 return Err(NetError::BadNode {
                     node: s.from,
@@ -232,10 +287,29 @@ impl NetSim {
             }
             sent[s.from] = true;
         }
+        let mut received = vec![false; n];
         for s in sends {
-            if inbox[s.to].is_some() {
+            if received[s.to] {
                 return Err(NetError::MultiReceive { node: s.to });
             }
+            received[s.to] = true;
+        }
+        Ok(())
+    }
+
+    /// Execute one synchronous round. Returns, for each node, the message it
+    /// received (if any) as `(from, payload)`.
+    pub fn round(&mut self, sends: Vec<Send>) -> Result<Inbox, NetError> {
+        let n = self.nodes();
+        let mut inbox: Inbox = vec![None; n];
+        if sends.is_empty() {
+            return Ok(inbox);
+        }
+        self.validate_sends(&sends)?;
+        let mut max_payload = 1u64;
+        let mut words = 0u64;
+        let count = sends.len() as u64;
+        for s in sends {
             max_payload = max_payload.max(s.payload.len() as u64);
             words += s.payload.len() as u64;
             let link = (s.from.min(s.to), crate::gray::link_dim(s.from, s.to));
@@ -276,7 +350,77 @@ impl NetSim {
     }
 }
 
+/// Abstraction over round-based transports.
+///
+/// [`NetSim`] is the pristine single-port cube; [`crate::fault::FaultyNet`]
+/// layers deterministic fault injection plus an ack/retry recovery protocol
+/// over it. The routing, collective, prefix and sort layers are generic over
+/// this trait, so every algorithm runs unchanged on either transport — and
+/// the fault-tolerance story lives in exactly one place.
+pub trait Network {
+    /// Cube dimension.
+    fn q(&self) -> usize;
+
+    /// Number of processors.
+    fn nodes(&self) -> usize {
+        1 << self.q()
+    }
+
+    /// Execute one logical synchronous round. A reliable transport may spend
+    /// several physical sub-rounds (retries, acks, backoff) delivering it;
+    /// on `Ok` the inbox reflects exactly the submitted pattern.
+    fn round(&mut self, sends: Vec<Send>) -> Result<Inbox, NetError>;
+
+    /// Pairwise exchange across dimension `d` (see [`NetSim::exchange`]).
+    fn exchange(&mut self, d: usize, payloads: Vec<Option<Vec<Word>>>) -> Result<Inbox, NetError> {
+        assert!(d < self.q().max(1), "dimension {d} out of range");
+        let sends: Vec<Send> = payloads
+            .into_iter()
+            .enumerate()
+            .filter_map(|(node, p)| {
+                p.map(|payload| Send {
+                    from: node,
+                    to: node ^ (1 << d),
+                    payload,
+                })
+            })
+            .collect();
+        self.round(sends)
+    }
+
+    /// Accumulated cost.
+    fn stats(&self) -> NetStats;
+
+    /// Zero the meters.
+    fn reset_stats(&mut self);
+
+    /// Whether `node` is currently up. Fault-free transports never lose a
+    /// processor; the default is therefore `true`.
+    fn is_alive(&self, _node: usize) -> bool {
+        true
+    }
+}
+
+impl Network for NetSim {
+    fn q(&self) -> usize {
+        NetSim::q(self)
+    }
+    fn round(&mut self, sends: Vec<Send>) -> Result<Inbox, NetError> {
+        NetSim::round(self, sends)
+    }
+    fn exchange(&mut self, d: usize, payloads: Vec<Option<Vec<Word>>>) -> Result<Inbox, NetError> {
+        NetSim::exchange(self, d, payloads)
+    }
+    fn stats(&self) -> NetStats {
+        NetSim::stats(self)
+    }
+    fn reset_stats(&mut self) {
+        NetSim::reset_stats(self)
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -305,7 +449,8 @@ mod tests {
                 time: 2,
                 rounds: 1,
                 messages: 2,
-                word_hops: 3
+                word_hops: 3,
+                ..NetStats::default()
             }
         );
     }
@@ -417,12 +562,14 @@ mod tests {
             rounds: 2,
             messages: 3,
             word_hops: 7,
+            ..NetStats::default()
         };
         let b = NetStats {
             time: 1,
             rounds: 1,
             messages: 1,
             word_hops: 2,
+            ..NetStats::default()
         };
         let m = a.merge(&b);
         assert_eq!(
@@ -431,7 +578,8 @@ mod tests {
                 time: 6,
                 rounds: 3,
                 messages: 4,
-                word_hops: 9
+                word_hops: 9,
+                ..NetStats::default()
             }
         );
         assert_eq!(m.delta(&b), a);
@@ -441,5 +589,36 @@ mod tests {
         use obs::Recorder;
         assert_eq!(a.family(), "hypercube.net");
         assert_eq!(a.fields()[3], ("word_hops", 7));
+    }
+
+    #[test]
+    fn fault_counters_merge_delta_and_display() {
+        let busy = NetStats {
+            time: 10,
+            rounds: 4,
+            messages: 6,
+            word_hops: 12,
+            retries: 3,
+            redeliveries: 1,
+            rehomed_nodes: 2,
+        };
+        let quiet = NetStats {
+            time: 1,
+            retries: 1,
+            ..NetStats::default()
+        };
+        let m = busy.merge(&quiet);
+        assert_eq!(m.retries, 4);
+        assert_eq!(m.delta(&quiet), busy);
+        // Underflow on swapped snapshots saturates for the fault counters too.
+        assert_eq!(quiet.delta(&busy), NetStats::default());
+        // Fault-free stats keep the historical format; fault activity appends.
+        assert!(!quiet.delta(&busy).has_fault_activity());
+        assert_eq!(
+            busy.to_string(),
+            "time=10 rounds=4 messages=6 word_hops=12 retries=3 redeliveries=1 rehomed_nodes=2"
+        );
+        use obs::Recorder;
+        assert_eq!(busy.fields()[6], ("rehomed_nodes", 2));
     }
 }

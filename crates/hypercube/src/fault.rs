@@ -1,0 +1,667 @@
+//! Deterministic fault injection and the ack/retry recovery protocol.
+//!
+//! The paper's model (and every layer built on [`NetSim`]) assumes a
+//! perfectly reliable single-port cube: each round delivers, every processor
+//! survives. [`FaultyNet`] drops that assumption without touching the
+//! algorithms: it wraps a pristine `NetSim` and injects faults from a seeded,
+//! replayable [`FaultPlan`] —
+//!
+//! * **drops** — a message is lost in transit;
+//! * **duplicates** — a spurious extra copy arrives a sub-round later;
+//! * **delay/reorder** — a message is withheld one sub-round;
+//! * **corruption** — a payload bit flips on the wire (every protocol-mode
+//!   payload carries a CRC word, so the receiver detects and discards it);
+//! * **fail-stop** — a processor crashes at a scheduled round and stays down
+//!   for an outage window ([`FailStop::PERMANENT`] = forever), losing its
+//!   resident queue data (which the `dmpq` layer regenerates elsewhere).
+//!
+//! Against these, `FaultyNet::round` runs a reliable-delivery protocol: each
+//! logical round becomes a series of physical sub-rounds — data, then a
+//! mirrored ack round, then retries with exponential backoff for whatever
+//! went unacknowledged — until every message of the round is delivered
+//! exactly once (duplicates are detected and discarded) or the retry budget
+//! is exhausted, in which case a *typed* error surfaces
+//! ([`NetError::Dead`] / [`NetError::Corrupt`] / [`NetError::Timeout`])
+//! instead of a panic. Retries, discarded duplicates and backoff time are
+//! metered in [`NetStats`].
+//!
+//! With an inactive plan ([`FaultPlan::none`]) the wrapper is a pure
+//! pass-through: no CRC word, no ack rounds, bit-identical meters to a bare
+//! `NetSim` — so fault-free experiments keep their golden numbers.
+//!
+//! Everything is deterministic: the same seed and the same operation
+//! sequence replay to the identical fault schedule and the identical
+//! `NetStats` ledger, which is what lets the chaos fuzzer shrink and replay
+//! failures.
+
+use crate::engine::{Inbox, NetError, NetSim, NetStats, Network, Send, Word};
+
+/// A scheduled processor crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailStop {
+    /// The processor that crashes.
+    pub node: usize,
+    /// Physical sub-round index at which it goes down.
+    pub at_round: u64,
+    /// Sub-rounds it stays down ([`FailStop::PERMANENT`] = never restarts).
+    pub outage: u64,
+}
+
+impl FailStop {
+    /// Outage value meaning the processor never comes back.
+    pub const PERMANENT: u64 = u64::MAX;
+}
+
+/// A seeded, replayable fault schedule.
+///
+/// Probabilities are per message transmission (and for `drop`, also per
+/// ack). All draws come from a splitmix64 stream seeded with `seed`, in a
+/// fixed order, so a plan replays identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed for the fault stream.
+    pub seed: u64,
+    /// Probability a transmission (or its ack) is lost in transit.
+    pub drop: f64,
+    /// Probability a transmission spawns a spurious duplicate copy.
+    pub duplicate: f64,
+    /// Probability a transmission is delayed one sub-round (reorder).
+    pub delay: f64,
+    /// Probability a transmission has a payload bit flipped on the wire.
+    pub corrupt: f64,
+    /// Scheduled processor crashes.
+    pub fail_stops: Vec<FailStop>,
+    /// Retry budget per logical round (initial attempt not counted).
+    pub max_retries: u32,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, wrapper acts as a pure pass-through.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            corrupt: 0.0,
+            fail_stops: Vec::new(),
+            max_retries: 12,
+        }
+    }
+
+    /// An empty plan carrying a seed (compose with the `with_*` builders).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Set the per-message drop probability.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.drop = p;
+        self
+    }
+
+    /// Set the per-message duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
+        self.duplicate = p;
+        self
+    }
+
+    /// Set the per-message delay/reorder probability.
+    pub fn with_delay(mut self, p: f64) -> FaultPlan {
+        self.delay = p;
+        self
+    }
+
+    /// Set the per-message corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> FaultPlan {
+        self.corrupt = p;
+        self
+    }
+
+    /// Set the retry budget.
+    pub fn with_retries(mut self, max_retries: u32) -> FaultPlan {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Schedule a fail-stop.
+    pub fn with_fail_stop(mut self, node: usize, at_round: u64, outage: u64) -> FaultPlan {
+        self.fail_stops.push(FailStop {
+            node,
+            at_round,
+            outage,
+        });
+        self
+    }
+
+    /// Whether any fault can ever fire. Inactive plans keep the wrapper in
+    /// zero-overhead pass-through mode.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.delay > 0.0
+            || self.corrupt > 0.0
+            || !self.fail_stops.is_empty()
+    }
+}
+
+/// FNV-1a over payload words, folded to a positive `Word`. One CRC word is
+/// appended to every protocol-mode payload; a corrupted payload fails the
+/// receiver's check and is treated as undelivered (forcing a retry).
+fn crc_of(words: &[Word]) -> Word {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        h ^= w as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h & 0x7fff_ffff_ffff_ffff) as Word
+}
+
+/// splitmix64 step — the fault stream's generator (self-contained so replay
+/// never depends on an external crate's stream).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Why a flight has not been acknowledged yet (drives the typed error when
+/// the retry budget runs out; `Dead` outranks `Corrupt` outranks timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cause {
+    Timeout,
+    Corrupt { node: usize },
+    Dead { node: usize },
+}
+
+/// One message of a logical round, tracked across retry sub-rounds.
+#[derive(Debug)]
+struct Flight {
+    from: usize,
+    to: usize,
+    payload: Vec<Word>,
+    wire: Vec<Word>,
+    delivered: bool,
+    acked: bool,
+    cause: Cause,
+}
+
+/// The fault-injecting transport: a [`NetSim`] plus a [`FaultPlan`] and the
+/// ack/retry recovery protocol. Implements [`Network`], so routing,
+/// collectives, prefix and sort run over it unchanged.
+#[derive(Debug, Clone)]
+pub struct FaultyNet {
+    inner: NetSim,
+    plan: FaultPlan,
+    rng: u64,
+    /// Physical sub-rounds executed (the clock fail-stops are scheduled on).
+    physical_rounds: u64,
+    /// Protocol-layer meters (backoff time, retries, redeliveries, rehomes)
+    /// merged into [`Network::stats`] on top of the inner simulator's.
+    extra: NetStats,
+}
+
+impl FaultyNet {
+    /// Wrap a fresh `q`-cube under `plan`.
+    pub fn new(q: usize, plan: FaultPlan) -> FaultyNet {
+        let rng = plan.seed;
+        FaultyNet {
+            inner: NetSim::new(q),
+            plan,
+            rng,
+            physical_rounds: 0,
+            extra: NetStats::default(),
+        }
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The physical sub-round clock (what [`FailStop::at_round`] is against).
+    pub fn physical_rounds(&self) -> u64 {
+        self.physical_rounds
+    }
+
+    /// Words moved per undirected link (see [`NetSim::link_loads`]).
+    pub fn link_loads(&self) -> Vec<((usize, usize), u64)> {
+        self.inner.link_loads()
+    }
+
+    /// The hottest link's load in words.
+    pub fn max_link_load(&self) -> u64 {
+        self.inner.max_link_load()
+    }
+
+    /// Record `n` heap nodes regenerated onto a new home processor — called
+    /// by the `dmpq` recovery layer so rehomes land in the same ledger as
+    /// retries and redeliveries.
+    pub fn note_rehomed(&mut self, n: u64) {
+        self.extra.rehomed_nodes += n;
+    }
+
+    /// Let `rounds` sub-rounds pass with no traffic (recovery layers wait
+    /// out an outage with this; metered as idle time).
+    pub fn idle(&mut self, rounds: u64) {
+        self.physical_rounds += rounds;
+        self.extra.time += rounds;
+    }
+
+    /// When `node` is next alive, in physical sub-rounds: `None` if some
+    /// covering fail-stop is permanent, the current clock if it is alive
+    /// now. Recovery layers use this to wait out a bounded outage before
+    /// retrying a full-cube collective.
+    pub fn down_until(&self, node: usize) -> Option<u64> {
+        let mut until = self.physical_rounds;
+        for fs in &self.plan.fail_stops {
+            if fs.node == node && self.physical_rounds >= fs.at_round {
+                if fs.outage == FailStop::PERMANENT {
+                    return None;
+                }
+                until = until.max(fs.at_round.saturating_add(fs.outage));
+            }
+        }
+        Some(until)
+    }
+
+    fn dead(&self, node: usize) -> bool {
+        self.plan.fail_stops.iter().any(|fs| {
+            node == fs.node
+                && self.physical_rounds >= fs.at_round
+                && self.physical_rounds - fs.at_round < fs.outage
+        })
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let draw = (splitmix64(&mut self.rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        draw < p
+    }
+
+    /// Corrupt one bit of a wire image (never leaves it equal: XOR of a
+    /// nonzero mask). The CRC word itself may be hit — still detected.
+    fn flip_bit(&mut self, wire: &mut [Word]) {
+        let idx = (splitmix64(&mut self.rng) % wire.len() as u64) as usize;
+        let bit = splitmix64(&mut self.rng) % 62;
+        wire[idx] ^= 1 << bit;
+    }
+
+    /// The reliable round: data sub-round, mirrored ack sub-round, retries
+    /// with exponential backoff. `Ok` means every submitted message was
+    /// delivered exactly once.
+    fn reliable_round(&mut self, sends: Vec<Send>) -> Result<Inbox, NetError> {
+        let n = self.inner.nodes();
+        self.inner.validate_sends(&sends)?;
+        let mut inbox: Inbox = vec![None; n];
+        let mut flights: Vec<Flight> = sends
+            .into_iter()
+            .map(|s| {
+                let mut wire = s.payload.clone();
+                wire.push(crc_of(&s.payload));
+                Flight {
+                    from: s.from,
+                    to: s.to,
+                    payload: s.payload,
+                    wire,
+                    delivered: false,
+                    acked: false,
+                    cause: Cause::Timeout,
+                }
+            })
+            .collect();
+        // Flight indices whose delayed/duplicate copy arrives next sub-round.
+        let mut copies_next: Vec<usize> = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            let all_acked = flights.iter().all(|f| f.acked);
+            if all_acked && copies_next.is_empty() {
+                return Ok(inbox);
+            }
+            if attempt > self.plan.max_retries {
+                if all_acked {
+                    // Only straggler duplicate/delayed copies remain; the
+                    // round is complete — stop draining them.
+                    return Ok(inbox);
+                }
+                // Report the most actionable cause among the losers. A
+                // flight's recorded cause is last-write-wins (a drop on the
+                // final attempt would mask an earlier dead-receiver
+                // observation), so deadness is re-checked here: a currently
+                // crashed endpoint is always the actionable diagnosis.
+                let rank = |c: &Cause| match c {
+                    Cause::Dead { .. } => 2,
+                    Cause::Corrupt { .. } => 1,
+                    Cause::Timeout => 0,
+                };
+                let mut worst: Option<(Cause, usize)> = None;
+                for f in flights.iter().filter(|f| !f.acked) {
+                    let cause = if self.dead(f.to) {
+                        Cause::Dead { node: f.to }
+                    } else if self.dead(f.from) {
+                        Cause::Dead { node: f.from }
+                    } else {
+                        f.cause
+                    };
+                    if worst.is_none_or(|(w, _)| rank(&cause) > rank(&w)) {
+                        worst = Some((cause, f.to));
+                    }
+                }
+                return Err(match worst {
+                    Some((Cause::Dead { node }, _)) => NetError::Dead { node },
+                    Some((Cause::Corrupt { node }, _)) => NetError::Corrupt { node },
+                    other => NetError::Timeout {
+                        node: other.map_or(0, |(_, to)| to),
+                        attempts: attempt,
+                    },
+                });
+            }
+            // ---- data sub-round ----
+            let copies_now = std::mem::take(&mut copies_next);
+            let mut phys: Vec<Send> = Vec::new();
+            let mut carried: Vec<usize> = Vec::new(); // flight idx per phys send
+            for (idx, f) in flights.iter_mut().enumerate() {
+                let is_copy = copies_now.contains(&idx);
+                if f.acked && !is_copy {
+                    continue;
+                }
+                // At most one in-flight copy per sender per sub-round: a
+                // scheduled delayed/duplicate copy *is* this sub-round's
+                // transmission for its flight.
+                if self.dead(f.from) {
+                    f.cause = Cause::Dead { node: f.from };
+                    continue;
+                }
+                if !is_copy && attempt > 0 {
+                    self.extra.retries += 1;
+                }
+                if self.chance(self.plan.drop) {
+                    f.cause = Cause::Timeout;
+                    continue;
+                }
+                if self.chance(self.plan.delay) {
+                    copies_next.push(idx);
+                    f.cause = Cause::Timeout;
+                    continue;
+                }
+                let mut wire = f.wire.clone();
+                if self.chance(self.plan.corrupt) {
+                    self.flip_bit(&mut wire);
+                }
+                if self.chance(self.plan.duplicate) && !copies_next.contains(&idx) {
+                    copies_next.push(idx);
+                }
+                if self.dead(f.to) {
+                    // The transmission crosses the link and dies at the
+                    // crashed receiver: metered, never acknowledged.
+                    f.cause = Cause::Dead { node: f.to };
+                }
+                phys.push(Send {
+                    from: f.from,
+                    to: f.to,
+                    payload: wire,
+                });
+                carried.push(idx);
+            }
+            let delivered_inbox = self.inner.round(phys)?;
+            self.physical_rounds += 1;
+            // ---- receive: CRC check, dedup, collect ack pattern ----
+            let mut ack_sends: Vec<Send> = Vec::new();
+            let mut ack_for: Vec<usize> = Vec::new();
+            for &idx in &carried {
+                let f = &mut flights[idx];
+                if self.dead(f.to) {
+                    continue; // discarded at the dead receiver
+                }
+                let Some((_, wire)) = &delivered_inbox[f.to] else {
+                    continue; // was dropped/delayed before the link
+                };
+                let (body, tail) = wire.split_at(wire.len() - 1);
+                if crc_of(body) != tail[0] {
+                    f.cause = Cause::Corrupt { node: f.to };
+                    continue;
+                }
+                if f.delivered {
+                    self.extra.redeliveries += 1;
+                } else {
+                    f.delivered = true;
+                    inbox[f.to] = Some((f.from, f.payload.clone()));
+                }
+                if !f.acked {
+                    ack_sends.push(Send {
+                        from: f.to,
+                        to: f.from,
+                        payload: vec![idx as Word],
+                    });
+                    ack_for.push(idx);
+                }
+            }
+            // ---- ack sub-round (mirrored pattern; acks can drop too) ----
+            let mut kept: Vec<Send> = Vec::new();
+            let mut kept_for: Vec<usize> = Vec::new();
+            for (send, idx) in ack_sends.into_iter().zip(ack_for) {
+                if self.chance(self.plan.drop) {
+                    continue;
+                }
+                kept.push(send);
+                kept_for.push(idx);
+            }
+            let ack_inbox = self.inner.round(kept)?;
+            self.physical_rounds += 1;
+            for idx in kept_for {
+                let f = &mut flights[idx];
+                if ack_inbox[f.from].is_some() {
+                    f.acked = true;
+                }
+            }
+            // ---- backoff before the next retry wave ----
+            if flights.iter().any(|f| !f.acked) {
+                self.extra.time += 1u64 << attempt.min(6);
+            }
+            attempt += 1;
+        }
+    }
+}
+
+impl Network for FaultyNet {
+    fn q(&self) -> usize {
+        self.inner.q()
+    }
+
+    fn round(&mut self, sends: Vec<Send>) -> Result<Inbox, NetError> {
+        if !self.plan.is_active() {
+            // Pass-through: bit-identical behaviour and meters to a bare
+            // NetSim (no CRC word, no ack rounds).
+            self.physical_rounds += 1;
+            return self.inner.round(sends);
+        }
+        if sends.is_empty() {
+            return Ok(vec![None; self.inner.nodes()]);
+        }
+        self.reliable_round(sends)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.inner.stats().merge(&self.extra)
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.extra = NetStats::default();
+    }
+
+    fn is_alive(&self, node: usize) -> bool {
+        !self.dead(node)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn one_send() -> Vec<Send> {
+        vec![Send {
+            from: 0,
+            to: 1,
+            payload: vec![7, 8, 9],
+        }]
+    }
+
+    #[test]
+    fn inactive_plan_is_bit_identical_to_netsim() {
+        let mut plain = NetSim::new(3);
+        let mut faulty = FaultyNet::new(3, FaultPlan::none());
+        for _ in 0..4 {
+            let a = plain.round(one_send()).unwrap();
+            let b = faulty.round(one_send()).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(NetSim::stats(&plain), faulty.stats());
+        assert_eq!(faulty.max_link_load(), plain.max_link_load());
+    }
+
+    #[test]
+    fn drops_are_retried_to_delivery() {
+        let plan = FaultPlan::seeded(42).with_drop(0.4).with_retries(64);
+        let mut net = FaultyNet::new(2, plan);
+        for _ in 0..50 {
+            let inbox = net.round(one_send()).unwrap();
+            assert_eq!(inbox[1], Some((0, vec![7, 8, 9])));
+        }
+        assert!(
+            net.stats().retries > 0,
+            "0.4 drop over 50 rounds must retry"
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retried() {
+        let plan = FaultPlan::seeded(7).with_corrupt(0.5).with_retries(64);
+        let mut net = FaultyNet::new(2, plan);
+        for _ in 0..50 {
+            let inbox = net.round(one_send()).unwrap();
+            // CRC never lets a flipped payload through.
+            assert_eq!(inbox[1], Some((0, vec![7, 8, 9])));
+        }
+        assert!(net.stats().retries > 0);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_and_counted() {
+        let plan = FaultPlan::seeded(9).with_duplicate(0.9).with_retries(64);
+        let mut net = FaultyNet::new(2, plan);
+        for _ in 0..30 {
+            let inbox = net.round(one_send()).unwrap();
+            assert_eq!(inbox[1], Some((0, vec![7, 8, 9])));
+        }
+        assert!(net.stats().redeliveries > 0, "0.9 duplicate must redeliver");
+    }
+
+    #[test]
+    fn delay_still_converges() {
+        let plan = FaultPlan::seeded(11).with_delay(0.6).with_retries(64);
+        let mut net = FaultyNet::new(2, plan);
+        for _ in 0..30 {
+            let inbox = net.round(one_send()).unwrap();
+            assert_eq!(inbox[1], Some((0, vec![7, 8, 9])));
+        }
+    }
+
+    #[test]
+    fn permanent_fail_stop_reports_dead() {
+        let plan = FaultPlan::seeded(1)
+            .with_retries(3)
+            .with_fail_stop(1, 0, FailStop::PERMANENT);
+        let mut net = FaultyNet::new(2, plan);
+        assert!(!net.is_alive(1));
+        let err = net.round(one_send()).unwrap_err();
+        assert_eq!(err, NetError::Dead { node: 1 });
+    }
+
+    #[test]
+    fn bounded_outage_is_ridden_out_by_retries() {
+        // Node 1 is down for 6 sub-rounds; a 16-retry budget outlasts it.
+        let plan = FaultPlan::seeded(3)
+            .with_retries(16)
+            .with_fail_stop(1, 0, 6);
+        let mut net = FaultyNet::new(2, plan);
+        let inbox = net.round(one_send()).unwrap();
+        assert_eq!(inbox[1], Some((0, vec![7, 8, 9])));
+        assert!(net.stats().retries > 0);
+    }
+
+    #[test]
+    fn total_drop_exhausts_budget_with_timeout() {
+        let plan = FaultPlan::seeded(5).with_drop(1.0).with_retries(4);
+        let mut net = FaultyNet::new(2, plan);
+        let err = net.round(one_send()).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { node: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn replay_from_same_seed_is_identical() {
+        let mk = || {
+            FaultPlan::seeded(77)
+                .with_drop(0.3)
+                .with_duplicate(0.2)
+                .with_delay(0.2)
+        };
+        let mut a = FaultyNet::new(3, mk());
+        let mut b = FaultyNet::new(3, mk());
+        for i in 0..40u64 {
+            let sends = vec![Send {
+                from: (i % 8) as usize,
+                to: ((i % 8) ^ 1) as usize,
+                payload: vec![i as Word],
+            }];
+            assert_eq!(a.round(sends.clone()), b.round(sends));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().has_fault_activity());
+    }
+
+    #[test]
+    fn idle_and_rehome_meter() {
+        let mut net = FaultyNet::new(2, FaultPlan::seeded(2).with_drop(0.1));
+        net.idle(5);
+        net.note_rehomed(3);
+        assert_eq!(net.stats().time, 5);
+        assert_eq!(net.stats().rehomed_nodes, 3);
+        net.reset_stats();
+        assert_eq!(net.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn illegal_patterns_still_rejected_under_faults() {
+        let mut net = FaultyNet::new(2, FaultPlan::seeded(4).with_drop(0.1));
+        let err = net
+            .round(vec![Send {
+                from: 0,
+                to: 3,
+                payload: vec![1],
+            }])
+            .unwrap_err();
+        assert_eq!(err, NetError::NotAdjacent { from: 0, to: 3 });
+    }
+
+    #[test]
+    fn crc_distinguishes_single_bit_flips() {
+        let base = vec![1, 2, 3, 4];
+        let c = crc_of(&base);
+        for idx in 0..base.len() {
+            for bit in 0..62 {
+                let mut m = base.clone();
+                m[idx] ^= 1 << bit;
+                assert_ne!(crc_of(&m), c, "collision at word {idx} bit {bit}");
+            }
+        }
+    }
+}

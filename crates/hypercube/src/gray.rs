@@ -45,6 +45,7 @@ pub fn link_dim(a: usize, b: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

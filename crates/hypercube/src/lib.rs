@@ -21,7 +21,10 @@
 //! * [`sort`] — bitonic sort of block-distributed keys (the `b-Union`
 //!   preprocessing needs a hypercube sort);
 //! * [`collectives`] — broadcast / reduce / all-reduce / gather, the
-//!   classic `O(q)`-round schedules, single-port verified.
+//!   classic `O(q)`-round schedules, single-port verified;
+//! * [`fault`] — a seeded, deterministic fault injector ([`FaultyNet`]) with
+//!   an ack/retry recovery protocol, so every primitive above also runs over
+//!   a lossy, corrupting, crash-prone cube.
 
 //! ```
 //! use hypercube::{NetSim, Send};
@@ -35,10 +38,12 @@
 
 pub mod collectives;
 pub mod engine;
+pub mod fault;
 pub mod gray;
 pub mod prefix;
 pub mod routing;
 pub mod sort;
 
-pub use engine::{NetError, NetSim, NetStats, Send, Word};
+pub use engine::{NetError, NetSim, NetStats, Network, Send, Word};
+pub use fault::{FailStop, FaultPlan, FaultyNet};
 pub use gray::{gray, gray_inv, hamming, is_adjacent};

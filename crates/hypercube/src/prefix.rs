@@ -13,7 +13,7 @@
 //! `O((m/2^q)·q)` time — `O(m/2^q + q)` in the `2^q = O(log n)` regime the
 //! paper operates in.
 
-use crate::engine::{NetError, NetSim, Word};
+use crate::engine::{NetError, Network, Word};
 use crate::gray::{gray, gray_inv};
 
 /// Element values are fixed-arity word tuples (e.g. `[flag, key, ptr]`).
@@ -21,12 +21,13 @@ pub type Tuple = Vec<Word>;
 
 /// Inclusive prefix in path-rank order: `values[r]` sits on node `gray(r)`;
 /// returns `out[r] = values[0] ⊕ … ⊕ values[r]`. Runs `q` exchange rounds.
-pub fn hamiltonian_prefix<Op>(
-    net: &mut NetSim,
+pub fn hamiltonian_prefix<N, Op>(
+    net: &mut N,
     values: &[Tuple],
     op: Op,
 ) -> Result<Vec<Tuple>, NetError>
 where
+    N: Network,
     Op: Fn(&[Word], &[Word]) -> Tuple,
 {
     let _sp = obs::span("hc/prefix");
@@ -40,7 +41,9 @@ where
         let payloads: Vec<Option<Tuple>> = tot.iter().cloned().map(Some).collect();
         let inbox = net.exchange(d, payloads)?;
         for node in 0..p {
-            let (_, other_tot) = inbox[node].as_ref().expect("full exchange");
+            let (_, other_tot) = inbox[node]
+                .as_ref()
+                .ok_or(NetError::Timeout { node, attempts: 0 })?;
             let r = gray_inv(node);
             if (r >> d) & 1 == 1 {
                 // Partner's half precedes mine in rank order.
@@ -57,13 +60,14 @@ where
 /// Inclusive prefix over `m` elements in the paper's cyclic layout
 /// (`element[i]` on node `Π(i mod 2^q)`): row-by-row Hamiltonian prefixes
 /// with locally composed carries. `identity` pads ragged rows.
-pub fn hamiltonian_prefix_cyclic<Op>(
-    net: &mut NetSim,
+pub fn hamiltonian_prefix_cyclic<N, Op>(
+    net: &mut N,
     elements: &[Tuple],
     identity: &[Word],
     op: Op,
 ) -> Result<Vec<Tuple>, NetError>
 where
+    N: Network,
     Op: Fn(&[Word], &[Word]) -> Tuple,
 {
     let _sp = obs::span("hc/prefix");
@@ -94,8 +98,10 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::engine::NetSim;
 
     fn add(a: &[Word], b: &[Word]) -> Tuple {
         vec![a[0] + b[0]]

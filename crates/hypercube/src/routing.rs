@@ -1,6 +1,6 @@
 //! E-cube (dimension-ordered) store-and-forward routing and path shifts.
 
-use crate::engine::{NetError, NetSim, Send, Word};
+use crate::engine::{NetError, Network, Send, Word};
 use crate::gray::gray;
 
 /// A packet travelling through the cube.
@@ -21,11 +21,37 @@ pub fn ecube_next_hop(at: usize, dst: usize) -> usize {
     at ^ (1 << d)
 }
 
+/// Fault-aware next hop: the lowest differing dimension whose neighbour is
+/// alive. At Hamming distance ≥ 2 a single crashed processor always leaves
+/// an alternative dimension (each hop still corrects a differing bit, so
+/// distance decreases monotonically — no livelock). At distance 1 the only
+/// hop is the destination itself; if that is dead we take it anyway and let
+/// the transport's retry budget ride out (or report) the outage.
+fn ecube_next_hop_avoiding<N: Network>(net: &N, at: usize, dst: usize) -> usize {
+    let mut diff = at ^ dst;
+    debug_assert_ne!(diff, 0);
+    while diff != 0 {
+        let d = diff.trailing_zeros();
+        let hop = at ^ (1 << d);
+        if net.is_alive(hop) {
+            return hop;
+        }
+        diff &= diff - 1;
+    }
+    ecube_next_hop(at, dst)
+}
+
 /// Deliver all packets with store-and-forward e-cube routing under the
 /// single-port rules. Each round every node forwards at most one resident
 /// packet (FIFO), deferring when the receiver is already claimed. Returns
 /// the packets grouped by destination, in delivery order.
-pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>, NetError> {
+///
+/// Runs over any [`Network`]: on a [`FaultyNet`](crate::FaultyNet) each
+/// store-and-forward round is individually made reliable by the transport's
+/// ack/retry protocol, and next hops steer around fail-stopped processors.
+/// Malformed packets (endpoints out of range) and unroutable states surface
+/// as [`NetError`]s instead of panics.
+pub fn route<N: Network>(net: &mut N, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>, NetError> {
     let _sp = obs::span("hc/route");
     let n = net.nodes();
     let mut delivered: Vec<Vec<Packet>> = vec![Vec::new(); n];
@@ -34,7 +60,12 @@ pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>,
         vec![std::collections::VecDeque::new(); n];
     let mut pending = 0usize;
     for p in packets {
-        assert!(p.src < n && p.dst < n, "packet endpoints out of range");
+        if p.src >= n || p.dst >= n {
+            return Err(NetError::BadNode {
+                node: if p.src >= n { p.src } else { p.dst },
+                size: n,
+            });
+        }
         if p.src == p.dst {
             delivered[p.dst].push(p);
         } else {
@@ -54,7 +85,7 @@ pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>,
             while rotated < queues[node].len() {
                 let hop = {
                     let pkt = &queues[node][0];
-                    ecube_next_hop(node, pkt.dst)
+                    ecube_next_hop_avoiding(net, node, pkt.dst)
                 };
                 if claimed[hop] {
                     queues[node].rotate_left(1);
@@ -62,7 +93,9 @@ pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>,
                     continue;
                 }
                 claimed[hop] = true;
-                let pkt = queues[node].pop_front().expect("nonempty");
+                let Some(pkt) = queues[node].pop_front() else {
+                    break;
+                };
                 // Wire format: dst, then payload (so the simulator moves the
                 // real number of words a header-carrying packet needs).
                 let mut wire = Vec::with_capacity(pkt.payload.len() + 1);
@@ -77,7 +110,15 @@ pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>,
                 break;
             }
         }
-        debug_assert!(!sends.is_empty(), "routing stalled with packets pending");
+        if sends.is_empty() {
+            // Defensive: with pending packets some node always has a
+            // schedulable front packet; if not, report instead of spinning.
+            let stuck = queues.iter().position(|qu| !qu.is_empty()).unwrap_or(0);
+            return Err(NetError::Timeout {
+                node: stuck,
+                attempts: 0,
+            });
+        }
         net.round(sends)?;
         for (to, pkt) in moving {
             if to == pkt.dst {
@@ -96,8 +137,8 @@ pub fn route(net: &mut NetSim, packets: Vec<Packet>) -> Result<Vec<Vec<Packet>>,
 /// dropped unless `wrap` is set, in which case it goes to `Π(0)` (also a
 /// neighbour: the path is a cycle). Returns the received payloads in rank
 /// order.
-pub fn shift_along_path(
-    net: &mut NetSim,
+pub fn shift_along_path<N: Network>(
+    net: &mut N,
     payloads: Vec<Option<Vec<Word>>>,
     wrap: bool,
 ) -> Result<Vec<Option<Vec<Word>>>, NetError> {
@@ -126,8 +167,10 @@ pub fn shift_along_path(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::engine::NetSim;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]

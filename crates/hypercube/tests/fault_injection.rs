@@ -1,0 +1,268 @@
+//! Fault-injection integration tests: every [`NetError`] variant provoked
+//! through [`FaultyNet`], and the retry protocol proven to converge (and to
+//! replay deterministically) under the high-level algorithms —
+//! `hamiltonian_prefix` and `bitonic_sort` under message-drop plans.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure mode
+
+use hypercube::collectives::{all_reduce, broadcast, gather, reduce};
+use hypercube::prefix::hamiltonian_prefix;
+use hypercube::routing::{route, Packet};
+use hypercube::sort::bitonic_sort;
+use hypercube::{FailStop, FaultPlan, FaultyNet, NetError, Network, Send};
+
+/// A plan that is *active* (so every send goes through the reliable-round
+/// protocol) but injects nothing: duplicate probability 0 would deactivate
+/// it, so it carries a fail-stop scheduled far beyond any test's horizon.
+fn active_but_quiet(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed).with_fail_stop(0, u64::MAX - 1, 1)
+}
+
+// ---------------------------------------------------------------- variants
+
+#[test]
+fn bad_node_through_faulty_net() {
+    let mut net = FaultyNet::new(2, active_but_quiet(1));
+    let err = net.round(vec![Send {
+        from: 0,
+        to: 9,
+        payload: vec![1],
+    }]);
+    assert_eq!(err, Err(NetError::BadNode { node: 9, size: 4 }));
+}
+
+#[test]
+fn not_adjacent_through_faulty_net() {
+    let mut net = FaultyNet::new(2, active_but_quiet(2));
+    let err = net.round(vec![Send {
+        from: 0,
+        to: 3,
+        payload: vec![1],
+    }]);
+    assert_eq!(err, Err(NetError::NotAdjacent { from: 0, to: 3 }));
+}
+
+#[test]
+fn multi_send_through_faulty_net() {
+    let mut net = FaultyNet::new(2, active_but_quiet(3));
+    let err = net.round(vec![
+        Send {
+            from: 0,
+            to: 1,
+            payload: vec![1],
+        },
+        Send {
+            from: 0,
+            to: 2,
+            payload: vec![2],
+        },
+    ]);
+    assert_eq!(err, Err(NetError::MultiSend { node: 0 }));
+}
+
+#[test]
+fn multi_receive_through_faulty_net() {
+    let mut net = FaultyNet::new(2, active_but_quiet(4));
+    let err = net.round(vec![
+        Send {
+            from: 1,
+            to: 0,
+            payload: vec![1],
+        },
+        Send {
+            from: 2,
+            to: 0,
+            payload: vec![2],
+        },
+    ]);
+    assert_eq!(err, Err(NetError::MultiReceive { node: 0 }));
+}
+
+#[test]
+fn timeout_through_faulty_net() {
+    // Every data message dropped, tiny retry budget: the budget exhausts
+    // and the error carries the attempt count (initial send + retries).
+    let plan = FaultPlan::seeded(5).with_drop(1.0).with_retries(3);
+    let mut net = FaultyNet::new(2, plan);
+    let err = net.round(vec![Send {
+        from: 0,
+        to: 1,
+        payload: vec![42],
+    }]);
+    assert_eq!(
+        err,
+        Err(NetError::Timeout {
+            node: 1,
+            attempts: 4
+        })
+    );
+}
+
+#[test]
+fn corrupt_through_faulty_net() {
+    // Every payload bit-flipped in flight: the CRC rejects each copy and
+    // the retry budget exhausts with a Corrupt report for the receiver.
+    let plan = FaultPlan::seeded(6).with_corrupt(1.0).with_retries(3);
+    let mut net = FaultyNet::new(2, plan);
+    let err = net.round(vec![Send {
+        from: 0,
+        to: 1,
+        payload: vec![42],
+    }]);
+    assert_eq!(err, Err(NetError::Corrupt { node: 1 }));
+}
+
+#[test]
+fn dead_through_faulty_net() {
+    let plan = FaultPlan::seeded(7)
+        .with_retries(2)
+        .with_fail_stop(1, 0, FailStop::PERMANENT);
+    let mut net = FaultyNet::new(2, plan);
+    assert!(!net.is_alive(1));
+    let err = net.round(vec![Send {
+        from: 0,
+        to: 1,
+        payload: vec![42],
+    }]);
+    assert_eq!(err, Err(NetError::Dead { node: 1 }));
+}
+
+// ------------------------------------------------------- retry convergence
+
+/// Drop plan aggressive enough to hit single messages constantly but with a
+/// budget that always converges.
+fn droppy(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed).with_drop(0.25).with_retries(64)
+}
+
+#[test]
+fn hamiltonian_prefix_converges_under_drops_and_replays() {
+    let run = |seed: u64| {
+        let mut net = FaultyNet::new(3, droppy(seed));
+        let values: Vec<Vec<i64>> = (0..8).map(|i| vec![i + 1]).collect();
+        let out = hamiltonian_prefix(&mut net, &values, |a, b| vec![a[0] + b[0]])
+            .expect("retries must absorb a 0.25 drop rate");
+        (out, net.stats())
+    };
+    let (out, stats) = run(11);
+    let expected: Vec<Vec<i64>> = (0..8).map(|i| vec![(i + 1) * (i + 2) / 2]).collect();
+    assert_eq!(out, expected, "prefix sums survive the drops");
+    assert!(stats.retries > 0, "a 0.25 drop rate must cost retries");
+    // Deterministic replay: same seed, same answer, same ledger.
+    let (out2, stats2) = run(11);
+    assert_eq!(out, out2);
+    assert_eq!(stats, stats2);
+    // A different seed converges too (different ledger is likely but not
+    // guaranteed, so only convergence is asserted).
+    let (out3, _) = run(12);
+    assert_eq!(out, out3);
+}
+
+#[test]
+fn bitonic_sort_converges_under_drops_and_replays() {
+    let keys: Vec<i64> = vec![9, -3, 7, 7, 0, -8, 5, 2];
+    let mut expected = keys.clone();
+    expected.sort_unstable();
+    let run = |seed: u64| {
+        let mut net = FaultyNet::new(3, droppy(seed));
+        let out = bitonic_sort(&mut net, &keys).expect("retries must absorb drops");
+        (out, net.stats())
+    };
+    let (out, stats) = run(21);
+    assert_eq!(out, expected);
+    assert!(stats.retries > 0);
+    let (out2, stats2) = run(21);
+    assert_eq!(out, out2);
+    assert_eq!(stats, stats2);
+}
+
+#[test]
+fn collectives_converge_under_drops() {
+    let mut net = FaultyNet::new(3, droppy(31));
+    let copies = broadcast(&mut net, 5, vec![17, 23]).expect("broadcast");
+    assert!(copies.iter().all(|c| c == &[17, 23]));
+
+    let values: Vec<Vec<i64>> = (0..8).map(|i| vec![i]).collect();
+    let total = reduce(&mut net, 2, values.clone(), |a, b| vec![a[0] + b[0]]).expect("reduce");
+    assert_eq!(total, vec![28]);
+
+    let everywhere =
+        all_reduce(&mut net, values.clone(), |a, b| vec![a[0] + b[0]]).expect("all_reduce");
+    assert!(everywhere.iter().all(|v| v == &[28]));
+
+    let at_root = gather(&mut net, 0, values).expect("gather");
+    assert_eq!(
+        at_root,
+        (0..8).map(|i| (i as usize, vec![i])).collect::<Vec<_>>()
+    );
+    assert!(net.stats().retries > 0);
+}
+
+#[test]
+fn routing_converges_under_drops_duplicates_and_delays() {
+    let plan = FaultPlan::seeded(41)
+        .with_drop(0.2)
+        .with_duplicate(0.2)
+        .with_delay(0.2)
+        .with_retries(64);
+    let mut net = FaultyNet::new(3, plan);
+    let packets: Vec<Packet> = (0..8)
+        .map(|src| Packet {
+            src,
+            dst: 7 - src,
+            payload: vec![100 + src as i64],
+        })
+        .collect();
+    let delivered = route(&mut net, packets).expect("route");
+    for (dst, got) in delivered.iter().enumerate() {
+        assert_eq!(got.len(), 1, "exactly one packet lands at {dst}");
+        assert_eq!(got[0].payload, vec![100 + (7 - dst) as i64]);
+    }
+    let stats = net.stats();
+    assert!(stats.retries > 0);
+    assert!(
+        stats.redeliveries > 0,
+        "a 0.2 duplicate rate must hit the dedup path"
+    );
+}
+
+#[test]
+fn route_steers_around_a_dead_intermediate() {
+    // 0 → 7 in a Q_3: the standard e-cube path is 0→1→3→7. Kill node 1
+    // permanently; the fault-aware router must take a detour (0→2→3→7 or
+    // 0→4→5→7) and still deliver.
+    let plan = FaultPlan::seeded(51)
+        .with_retries(8)
+        .with_fail_stop(1, 0, FailStop::PERMANENT);
+    let mut net = FaultyNet::new(3, plan);
+    let delivered = route(
+        &mut net,
+        vec![Packet {
+            src: 0,
+            dst: 7,
+            payload: vec![99],
+        }],
+    )
+    .expect("detour around the dead node");
+    assert_eq!(delivered[7].len(), 1);
+    assert_eq!(delivered[7][0].payload, vec![99]);
+}
+
+#[test]
+fn bounded_outage_rides_out_on_retries() {
+    // Node 1 is down for a short outage window; the retry backoff outlasts
+    // it, so the round succeeds without surfacing an error.
+    let plan = FaultPlan::seeded(61)
+        .with_retries(12)
+        .with_fail_stop(1, 0, 20);
+    let mut net = FaultyNet::new(2, plan);
+    let inbox = net
+        .round(vec![Send {
+            from: 0,
+            to: 1,
+            payload: vec![5],
+        }])
+        .expect("backoff outlasts a 20-round outage");
+    assert_eq!(inbox[1], Some((0, vec![5])));
+    assert!(net.stats().retries > 0);
+}

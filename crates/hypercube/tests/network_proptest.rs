@@ -4,6 +4,8 @@
 //! computation, and the sort handles arbitrary inputs — all while the
 //! engine enforces single-port legality on every round.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure mode
+
 use hypercube::collectives::{all_reduce, broadcast, gather, reduce};
 use hypercube::prefix::{hamiltonian_prefix, hamiltonian_prefix_cyclic};
 use hypercube::routing::{route, Packet};

@@ -85,21 +85,32 @@ pub struct Envelope {
 impl Envelope {
     /// Fit `c` as the max `measured / shape` over small-n calibration
     /// samples (each sample is `(shape value, measured value)`), with the
-    /// default threshold. Degenerate samples (`shape ≤ 0`) are skipped; the
-    /// constant is floored at a tiny epsilon so later ratios stay finite.
-    pub fn fit(theorem: &'static str, metric: &'static str, samples: &[(f64, f64)]) -> Envelope {
-        let c = samples
-            .iter()
-            .filter(|(shape, _)| *shape > 0.0)
-            .map(|(shape, measured)| measured / shape)
+    /// default threshold. Degenerate samples (`shape ≤ 0`) are skipped;
+    /// returns `None` when no usable sample remains (an empty or zero-ops
+    /// calibration run) — a constant fitted from nothing would make every
+    /// later check an artificial `VIOLATION`, so absence is made explicit
+    /// instead. The constant is floored at a tiny epsilon so later ratios
+    /// stay finite.
+    pub fn fit(
+        theorem: &'static str,
+        metric: &'static str,
+        samples: &[(f64, f64)],
+    ) -> Option<Envelope> {
+        let usable = samples.iter().filter(|(shape, _)| *shape > 0.0);
+        let mut any = false;
+        let c = usable
+            .map(|(shape, measured)| {
+                any = true;
+                measured / shape
+            })
             .fold(0.0, f64::max)
             .max(1e-9);
-        Envelope {
+        any.then_some(Envelope {
             theorem,
             metric,
             c,
             threshold: DEFAULT_THRESHOLD,
-        }
+        })
     }
 
     /// Same as [`Envelope::fit`] with an explicit threshold.
@@ -108,11 +119,8 @@ impl Envelope {
         metric: &'static str,
         samples: &[(f64, f64)],
         threshold: f64,
-    ) -> Envelope {
-        Envelope {
-            threshold,
-            ..Envelope::fit(theorem, metric, samples)
-        }
+    ) -> Option<Envelope> {
+        Envelope::fit(theorem, metric, samples).map(|e| Envelope { threshold, ..e })
     }
 
     /// Evaluate `measured` against `c · shape` at the full problem size.
@@ -217,7 +225,8 @@ mod tests {
 
     #[test]
     fn fit_takes_max_ratio_and_check_divides() {
-        let env = Envelope::fit("theorem1", "union.time", &[(2.0, 6.0), (4.0, 8.0)]);
+        let env =
+            Envelope::fit("theorem1", "union.time", &[(2.0, 6.0), (4.0, 8.0)]).expect("samples");
         assert!((env.c - 3.0).abs() < 1e-12);
         let row = env.check("n=64", 10.0, 15.0);
         assert!((row.bound - 30.0).abs() < 1e-9);
@@ -229,9 +238,35 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_calibration_yields_no_envelope() {
+        // A zero-ops calibration (no samples, or only shape-0 samples) has
+        // nothing to fit a constant from: the fit says so instead of
+        // handing back an epsilon constant that fails every later check.
+        assert_eq!(Envelope::fit("theorem2", "amortized.time", &[]), None);
+        assert_eq!(
+            Envelope::fit("theorem2", "amortized.time", &[(0.0, 5.0), (-1.0, 2.0)]),
+            None
+        );
+        assert_eq!(
+            Envelope::fit_with_threshold("theorem2", "amortized.time", &[(0.0, 5.0)], 2.0),
+            None
+        );
+        // One usable sample among degenerates still fits.
+        let env = Envelope::fit_with_threshold(
+            "theorem2",
+            "amortized.time",
+            &[(0.0, 5.0), (2.0, 4.0)],
+            2.0,
+        )
+        .expect("one usable sample");
+        assert!((env.c - 2.0).abs() < 1e-12);
+        assert!((env.threshold - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn zero_bound_cases() {
-        let env = Envelope::fit("theorem2", "amortized.time", &[(0.0, 5.0)]);
-        // Only degenerate samples: c falls back to epsilon.
+        let env = Envelope::fit("theorem2", "amortized.time", &[(1.0, 1e-12)]).expect("sample");
+        // A vanishing constant: zero measured conforms, nonzero does not.
         let ok = env.check("zero", 0.0, 0.0);
         assert!(ok.within());
         let bad = env.check("zero", 0.0, 1.0);
@@ -240,7 +275,7 @@ mod tests {
 
     #[test]
     fn display_marks_violations() {
-        let env = Envelope::fit("theorem3", "bunion.time", &[(1.0, 1.0)]);
+        let env = Envelope::fit("theorem3", "bunion.time", &[(1.0, 1.0)]).expect("sample");
         let row = env.check("q=3", 1.0, 10.0);
         let line = row.to_string();
         assert!(line.contains("VIOLATION"));

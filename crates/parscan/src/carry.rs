@@ -7,6 +7,29 @@
 //! obtained in `O(log log n + (log n)/p)` EREW time.
 
 use crate::seq;
+use std::fmt;
+
+/// A machine word that does not encode any [`CarryStatus`] — malformed
+/// input surfaces as a typed error instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryError {
+    /// The malformed encoded word.
+    pub word: i64,
+}
+
+impl fmt::Display for CarryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid carry status word {}", self.word)
+    }
+}
+
+impl std::error::Error for CarryError {}
+
+/// Sentinel the word-level composition emits once either operand is
+/// malformed; it is itself malformed, so poison propagates through a whole
+/// scan and is caught by a single [`CarryStatus::try_from_word`] at decode
+/// time — keeping scan closures total without hiding the corruption.
+pub const POISON_WORD: i64 = -1;
 
 /// Carry status of a bit position (also the scan element).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,13 +53,24 @@ impl CarryStatus {
     }
 
     /// Decode from a machine word.
-    pub fn from_word(w: i64) -> CarryStatus {
+    pub fn try_from_word(w: i64) -> Result<CarryStatus, CarryError> {
         match w {
-            0 => CarryStatus::Kill,
-            1 => CarryStatus::Propagate,
-            2 => CarryStatus::Generate,
-            other => panic!("invalid carry status word {other}"),
+            0 => Ok(CarryStatus::Kill),
+            1 => Ok(CarryStatus::Propagate),
+            2 => Ok(CarryStatus::Generate),
+            word => Err(CarryError { word }),
         }
+    }
+}
+
+/// Word-level monoid composition for scan hosts whose combine closures must
+/// be total (PRAM memory cells, prefix tuples). Well-formed operands compose
+/// exactly like [`compose_status`]; any malformed operand yields
+/// [`POISON_WORD`], which the caller detects when decoding the scan output.
+pub fn compose_status_words(l: i64, r: i64) -> i64 {
+    match (CarryStatus::try_from_word(l), CarryStatus::try_from_word(r)) {
+        (Ok(a), Ok(b)) => compose_status(a, b).to_word(),
+        _ => POISON_WORD,
     }
 }
 
@@ -110,6 +144,7 @@ pub fn bits_to_usize(bits: &[bool]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -175,8 +210,36 @@ mod tests {
     fn word_roundtrip() {
         use CarryStatus::*;
         for s in [Kill, Propagate, Generate] {
-            assert_eq!(CarryStatus::from_word(s.to_word()), s);
+            assert_eq!(CarryStatus::try_from_word(s.to_word()), Ok(s));
         }
+    }
+
+    #[test]
+    fn malformed_word_is_a_typed_error_not_a_panic() {
+        for w in [-1i64, 3, 99, i64::MIN, i64::MAX] {
+            assert_eq!(CarryStatus::try_from_word(w), Err(CarryError { word: w }));
+        }
+        assert_eq!(
+            CarryError { word: 3 }.to_string(),
+            "invalid carry status word 3"
+        );
+    }
+
+    #[test]
+    fn word_composition_matches_and_poisons() {
+        use CarryStatus::*;
+        for x in [Kill, Propagate, Generate] {
+            for y in [Kill, Propagate, Generate] {
+                assert_eq!(
+                    compose_status_words(x.to_word(), y.to_word()),
+                    compose_status(x, y).to_word()
+                );
+            }
+            // Poison absorbs from either side and self-propagates.
+            assert_eq!(compose_status_words(POISON_WORD, x.to_word()), POISON_WORD);
+            assert_eq!(compose_status_words(x.to_word(), 57), POISON_WORD);
+        }
+        assert_eq!(compose_status_words(POISON_WORD, POISON_WORD), POISON_WORD);
     }
 
     #[test]

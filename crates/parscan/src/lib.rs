@@ -44,5 +44,7 @@ pub mod pram_host;
 pub mod segmin;
 pub mod seq;
 
-pub use carry::{carry_status, compose_status, CarryStatus};
+pub use carry::{
+    carry_status, compose_status, compose_status_words, CarryError, CarryStatus, POISON_WORD,
+};
 pub use segmin::{seg_identity, seg_op, SegPair};

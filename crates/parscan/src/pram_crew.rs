@@ -76,6 +76,7 @@ pub fn broadcast(m: &mut Pram, cell: Addr, out: Addr, n: usize) -> Result<(), Pr
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pram::{Cost, Model};

@@ -204,6 +204,7 @@ pub fn reduce_min_argmin(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pram::Model;

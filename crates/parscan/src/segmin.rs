@@ -59,6 +59,7 @@ pub fn seg_op_packed(l: i64, r: i64) -> i64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::seq;

@@ -66,6 +66,7 @@ pub fn segmented_prefix_min<T: Ord + Copy>(flags: &[bool], xs: &[T]) -> Vec<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

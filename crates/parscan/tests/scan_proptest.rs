@@ -3,6 +3,8 @@
 //! the same prefixes for arbitrary inputs and for both commutative and
 //! non-commutative associative operators.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure mode
+
 use parscan::{carry, pram_crew, pram_host, seq};
 use pram::{Model, Pram, Word};
 use proptest::prelude::*;

@@ -25,12 +25,16 @@ fn main() {
             state = state
                 .wrapping_mul(2862933555777941757)
                 .wrapping_add(3037000493);
-            pq.insert((state >> 40) as i64 - 8_000_000);
+            pq.insert((state >> 40) as i64 - 8_000_000)
+                .expect("fault-free net");
         }
         // Extract a sorted prefix.
         let mut prev = i64::MIN;
         for _ in 0..512 {
-            let k = pq.extract_min().expect("512 items in");
+            let k = pq
+                .extract_min()
+                .expect("fault-free net")
+                .expect("512 items in");
             assert!(k >= prev, "extraction must be sorted");
             prev = k;
         }

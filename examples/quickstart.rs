@@ -67,9 +67,11 @@ fn main() {
     // --- 4. the distributed queue on a simulated hypercube (paper §5)
     let mut dq = dmpq::DistributedPq::new(3, 8);
     for k in (0..64).rev() {
-        dq.insert(k);
+        dq.insert(k).expect("fault-free net");
     }
-    let first: Vec<_> = (0..5).filter_map(|_| dq.extract_min()).collect();
+    let first: Vec<_> = (0..5)
+        .filter_map(|_| dq.extract_min().expect("fault-free net"))
+        .collect();
     println!("distributed queue first five: {first:?}");
     println!(
         "network cost so far: {} over {} multi-operations",

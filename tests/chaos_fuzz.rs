@@ -1,0 +1,203 @@
+//! Chaos fuzzer: the distributed queue driven under hundreds of seeded
+//! fault plans — drops, duplicates, delays, corruption, bounded and
+//! permanent fail-stops — against a sorted-vec oracle.
+//!
+//! Contract under chaos:
+//!
+//! * **zero panics** — every outcome is `Ok` or a typed [`QueueError`];
+//! * **survivable plans match the oracle** — message-level faults are fully
+//!   absorbed by the transport's ack/retry protocol, and bounded fail-stops
+//!   of non-I/O processors by rehoming, so extraction order is exact;
+//! * **unsurvivable plans fail cleanly** — a permanent fail-stop may
+//!   legitimately end the run, but only with `Net(Dead)`/`IoProcDead`;
+//! * **determinism** — replaying a seed reproduces the identical `NetStats`
+//!   ledger, byte for byte.
+//!
+//! Plan count defaults to 256; the nightly chaos-soak job raises it via
+//! `SOAK_STEPS`. A failing plan's seed is written to
+//! `target/chaos-failing-seed.txt` so CI can upload it as an artifact.
+
+use dmpq::{DistributedPq, QueueError};
+use hypercube::{FailStop, FaultPlan, NetError, NetStats};
+
+fn plan_count() -> u64 {
+    std::env::var("SOAK_STEPS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|steps| steps.max(256) / 16) // soak steps → plan budget
+        .unwrap_or(256)
+        .max(256)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// What a seed's plan injects; fail-stop plans may legitimately fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Drop,
+    Duplicate,
+    Delay,
+    Corrupt,
+    Mixed,
+    BoundedFailStop,
+    PermanentFailStop,
+    IoProcFailStop,
+}
+
+fn plan_for(seed: u64, q: usize) -> (FaultPlan, Kind) {
+    let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+    let r = splitmix(&mut s);
+    let p01 = |bits: u64| (bits % 1000) as f64 / 1000.0;
+    let base = FaultPlan::seeded(seed).with_retries(64);
+    let nodes = 1usize << q;
+    match seed % 8 {
+        0 => (base.with_drop(0.05 + 0.20 * p01(r)), Kind::Drop),
+        1 => (base.with_duplicate(0.05 + 0.20 * p01(r)), Kind::Duplicate),
+        2 => (base.with_delay(0.05 + 0.25 * p01(r)), Kind::Delay),
+        3 => (base.with_corrupt(0.05 + 0.15 * p01(r)), Kind::Corrupt),
+        4 => (
+            base.with_drop(0.10)
+                .with_duplicate(0.10)
+                .with_delay(0.10)
+                .with_corrupt(0.05),
+            Kind::Mixed,
+        ),
+        5 => {
+            // Bounded outage of a non-I/O processor, mid-workload.
+            let node = 1 + (r as usize) % (nodes - 1);
+            let at = 30 + r % 200;
+            let outage = 500 + r % 4_000;
+            (
+                base.with_drop(0.05).with_fail_stop(node, at, outage),
+                Kind::BoundedFailStop,
+            )
+        }
+        6 => {
+            let node = 1 + (r as usize) % (nodes - 1);
+            (
+                base.with_fail_stop(node, 40 + r % 100, FailStop::PERMANENT),
+                Kind::PermanentFailStop,
+            )
+        }
+        _ => (
+            base.with_fail_stop(0, 20 + r % 100, FailStop::PERMANENT),
+            Kind::IoProcFailStop,
+        ),
+    }
+}
+
+/// One seeded run: a mixed insert/extract workload against a sorted oracle,
+/// then a full drain. Returns the queue's final meter on success.
+fn run_plan(seed: u64, q: usize, b: usize) -> Result<NetStats, QueueError> {
+    let (plan, _) = plan_for(seed, q);
+    let mut pq = DistributedPq::with_faults(q, b, plan);
+    let mut oracle: Vec<i64> = Vec::new();
+    let mut s = seed ^ 0xDEADBEEF;
+    for _ in 0..48 {
+        let r = splitmix(&mut s);
+        if r % 10 < 6 || oracle.is_empty() {
+            let k = (r >> 16) as i64 % 10_000;
+            pq.insert(k)?;
+            oracle.push(k);
+        } else {
+            let got = pq.extract_min()?;
+            let (i, _) = oracle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, k)| **k)
+                .expect("oracle nonempty");
+            let want = oracle.swap_remove(i);
+            assert_eq!(got, Some(want), "extraction order diverged (seed {seed})");
+        }
+        assert_eq!(pq.len(), oracle.len(), "size diverged (seed {seed})");
+    }
+    pq.validate()
+        .unwrap_or_else(|e| panic!("invariants broken under seed {seed}: {e}"));
+    oracle.sort_unstable();
+    let stats = pq.net_stats();
+    assert_eq!(
+        pq.into_sorted_vec()?,
+        oracle,
+        "drain order diverged (seed {seed})"
+    );
+    Ok(stats)
+}
+
+fn record_failing_seed(seed: u64, why: &str) {
+    let _ = std::fs::create_dir_all("target");
+    let _ = std::fs::write(
+        "target/chaos-failing-seed.txt",
+        format!("seed={seed}\nreason={why}\n"),
+    );
+}
+
+#[test]
+fn chaos_fuzz_seeded_fault_plans_vs_oracle() {
+    let n = plan_count();
+    let (q, b) = (2usize, 3usize);
+    let mut survived = 0u64;
+    let mut clean_failures = 0u64;
+    let mut any_retries = false;
+    let mut any_redeliveries = false;
+    let mut any_rehomed = false;
+    for seed in 0..n {
+        let (_, kind) = plan_for(seed, q);
+        match run_plan(seed, q, b) {
+            Ok(stats) => {
+                survived += 1;
+                any_retries |= stats.retries > 0;
+                any_redeliveries |= stats.redeliveries > 0;
+                any_rehomed |= stats.rehomed_nodes > 0;
+                // Message-level faults must ALWAYS be absorbed: only
+                // fail-stop plans are allowed to end a run early.
+            }
+            Err(e) => {
+                let fail_stop_plan = matches!(
+                    kind,
+                    Kind::BoundedFailStop | Kind::PermanentFailStop | Kind::IoProcFailStop
+                );
+                let clean = matches!(
+                    e,
+                    QueueError::Net(NetError::Dead { .. }) | QueueError::IoProcDead { .. }
+                );
+                if !fail_stop_plan || !clean {
+                    record_failing_seed(seed, &format!("{e}"));
+                    panic!("seed {seed} ({kind:?}) failed unexpectedly: {e}");
+                }
+                clean_failures += 1;
+            }
+        }
+    }
+    // The sweep must exercise both ends: most plans survive (all
+    // message-level plans plus the rideable fail-stops), and the permanent
+    // I/O-processor deaths fail cleanly.
+    assert!(
+        survived >= n * 5 / 8,
+        "only {survived}/{n} plans survived — recovery is underperforming"
+    );
+    assert!(
+        clean_failures > 0,
+        "no plan exercised the clean-failure path"
+    );
+    assert!(any_retries, "no plan exercised the retry path");
+    assert!(any_redeliveries, "no plan exercised the dedup path");
+    assert!(any_rehomed, "no plan exercised fail-stop rehoming");
+}
+
+#[test]
+fn chaos_replay_same_seed_identical_ledger() {
+    // One representative seed per fault kind, replayed: the NetStats ledger
+    // (time, rounds, messages, word-hops, retries, redeliveries, rehomings)
+    // must be identical — the chaos harness is fully deterministic.
+    for seed in [0u64, 1, 2, 3, 4, 5, 13, 21] {
+        let a = run_plan(seed, 2, 3);
+        let b = run_plan(seed, 2, 3);
+        assert_eq!(a, b, "seed {seed} did not replay identically");
+    }
+}

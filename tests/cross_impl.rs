@@ -61,9 +61,9 @@ fn all_nine_implementations_sort_identically() {
     // The distributed hypercube queue.
     let mut dq = dmpq::DistributedPq::new(3, 8);
     for &k in &keys {
-        dq.insert(k);
+        dq.insert(k).expect("fault-free net");
     }
-    assert_eq!(dq.into_sorted_vec(), expected);
+    assert_eq!(dq.into_sorted_vec().expect("fault-free net"), expected);
 }
 
 #[test]
@@ -105,12 +105,12 @@ fn meld_heavy_workload_agrees_across_meldable_queues() {
     for p in &parts {
         let mut other = dmpq::DistributedPq::new(2, 4);
         for &k in p {
-            other.insert(k);
+            other.insert(k).expect("fault-free net");
         }
-        dq.meld(other);
+        dq.meld(other).expect("fault-free net");
         dq.heap().validate().expect("valid after meld");
     }
-    assert_eq!(dq.into_sorted_vec(), expected);
+    assert_eq!(dq.into_sorted_vec().expect("fault-free net"), expected);
 }
 
 #[test]

@@ -170,7 +170,7 @@ impl Fleet {
             .meld(ParBinomialHeap::from_keys([k]), Engine::Rayon);
         self.pram.insert_measured(k, self.p);
         self.lazy.insert(k);
-        self.dist.insert(k);
+        self.dist.insert(k).expect("fault-free net");
         self.oracle.insert(k);
     }
 
@@ -191,9 +191,9 @@ impl Fleet {
         ));
         let mut incoming = DistributedPq::new(self.q, self.dist.b);
         for &k in keys {
-            incoming.insert(k);
+            incoming.insert(k).expect("fault-free net");
         }
-        self.dist.meld(incoming);
+        self.dist.meld(incoming).expect("fault-free net");
         for &k in keys {
             self.oracle.insert(k);
         }
@@ -237,7 +237,7 @@ proptest! {
                     let ray = fleet.ray.extract_min(Engine::Rayon);
                     let pram = fleet.pram.extract_min_measured(p).0;
                     let lazy = fleet.lazy.extract_min();
-                    let dist = fleet.dist.extract_min();
+                    let dist = fleet.dist.extract_min().expect("fault-free net");
                     prop_assert_eq!(seq, want, "seq extract at step {}", step);
                     prop_assert_eq!(ray, want, "rayon extract at step {}", step);
                     prop_assert_eq!(pram, want, "pram extract at step {}", step);
@@ -271,7 +271,7 @@ proptest! {
         prop_assert_eq!(fleet.ray.into_sorted_vec(), want.clone(), "rayon drain");
         prop_assert_eq!(fleet.pram.into_sorted_vec(), want.clone(), "pram drain");
         prop_assert_eq!(fleet.lazy.into_sorted_vec(), want.clone(), "lazy drain");
-        prop_assert_eq!(fleet.dist.into_sorted_vec(), want, "dist drain");
+        prop_assert_eq!(fleet.dist.into_sorted_vec().expect("fault-free net"), want, "dist drain");
     }
 
     #[test]

@@ -103,7 +103,7 @@ fn extract_from_empty_heaps_returns_none() {
     assert_eq!(l.extract_min(), None);
     assert_eq!(l.min(), None);
     let mut d = DistributedPq::new(2, 4);
-    assert_eq!(d.extract_min(), None);
+    assert_eq!(d.extract_min().unwrap(), None);
     assert_eq!(d.min(), None);
 }
 
@@ -194,22 +194,22 @@ fn arrange_threshold_is_clamped_and_monotone_enough() {
 #[test]
 fn distributed_pq_single_element_lifecycle() {
     let mut d = DistributedPq::new(2, 4);
-    d.insert(5);
+    d.insert(5).unwrap();
     d.check_invariants().unwrap();
     assert_eq!(d.min(), Some(5));
-    assert_eq!(d.extract_min(), Some(5));
-    assert_eq!(d.extract_min(), None);
+    assert_eq!(d.extract_min().unwrap(), Some(5));
+    assert_eq!(d.extract_min().unwrap(), None);
     d.check_invariants().unwrap();
     // Meld an empty queue into a single-element queue and vice versa.
     let mut a = DistributedPq::new(2, 4);
-    a.insert(1);
-    a.meld(DistributedPq::new(2, 4));
+    a.insert(1).unwrap();
+    a.meld(DistributedPq::new(2, 4)).unwrap();
     a.check_invariants().unwrap();
-    assert_eq!(a.extract_min(), Some(1));
+    assert_eq!(a.extract_min().unwrap(), Some(1));
     let mut e = DistributedPq::new(2, 4);
     let mut b = DistributedPq::new(2, 4);
-    b.insert(8);
-    e.meld(b);
+    b.insert(8).unwrap();
+    e.meld(b).unwrap();
     e.check_invariants().unwrap();
-    assert_eq!(e.extract_min(), Some(8));
+    assert_eq!(e.extract_min().unwrap(), Some(8));
 }

@@ -56,7 +56,7 @@ impl Fleet {
         self.par_seq.insert(k);
         self.par_ray.insert(k);
         self.lazy_handles.push((self.lazy.insert(k), k));
-        self.dq.insert(k);
+        self.dq.insert(k).expect("fault-free net");
     }
 
     fn extract(&mut self) {
@@ -71,7 +71,7 @@ impl Fleet {
         assert_eq!(self.par_seq.extract_min(Engine::Sequential), Some(want));
         assert_eq!(self.par_ray.extract_min(Engine::Rayon), Some(want));
         assert_eq!(self.lazy.extract_min(), Some(want));
-        assert_eq!(self.dq.extract_min(), Some(want));
+        assert_eq!(self.dq.extract_min().expect("fault-free net"), Some(want));
     }
 
     fn lazy_delete_random(&mut self, rng: &mut StdRng) {
@@ -106,7 +106,7 @@ impl Fleet {
         assert_eq!(self.pairing.extract_min(), Some(min));
         assert_eq!(self.par_seq.extract_min(Engine::Sequential), Some(min));
         assert_eq!(self.par_ray.extract_min(Engine::Rayon), Some(min));
-        assert_eq!(self.dq.extract_min(), Some(min));
+        assert_eq!(self.dq.extract_min().expect("fault-free net"), Some(min));
         let _ = rng;
     }
 
@@ -135,9 +135,9 @@ impl Fleet {
         self.lazy.meld(other);
         let mut dq_other = dmpq::DistributedPq::new(2, 5);
         for &k in keys {
-            dq_other.insert(k);
+            dq_other.insert(k).expect("fault-free net");
         }
-        self.dq.meld(dq_other);
+        self.dq.meld(dq_other).expect("fault-free net");
     }
 
     fn check(&mut self) {
@@ -200,5 +200,8 @@ fn soak_every_queue_through_one_long_workload() {
     assert_eq!(fleet.binomial.into_sorted_vec(), expected);
     assert_eq!(fleet.par_ray.into_sorted_vec(), expected);
     assert_eq!(fleet.lazy.into_sorted_vec(), expected);
-    assert_eq!(fleet.dq.into_sorted_vec(), expected);
+    assert_eq!(
+        fleet.dq.into_sorted_vec().expect("fault-free net"),
+        expected
+    );
 }
