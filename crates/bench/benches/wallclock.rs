@@ -53,8 +53,8 @@ fn pooled_pair(n: usize, seed: u64) -> (HeapPool<i64>, meldpq::PooledHeap, meldp
     let mut rng = workloads::rng(seed ^ n as u64);
     let keys = workloads::random_keys(&mut rng, n);
     let mut pool = HeapPool::with_capacity(n);
-    let a = pool.from_keys_parallel(&keys[..n / 2], Engine::Sequential);
-    let b = pool.from_keys_parallel(&keys[n / 2..], Engine::Sequential);
+    let a = pool.from_keys_parallel_with(&keys[..n / 2], Engine::Sequential);
+    let b = pool.from_keys_parallel_with(&keys[n / 2..], Engine::Sequential);
     (pool, a, b)
 }
 
@@ -75,7 +75,7 @@ fn bench_meld(c: &mut Criterion, full: bool) {
             b.iter_batched(
                 || pooled_pair(n, 11),
                 |(mut pool, mut a, b)| {
-                    pool.meld(&mut a, b, Engine::Sequential);
+                    pool.meld_with(&mut a, b, Engine::Sequential);
                     (pool, a)
                 },
                 BatchSize::LargeInput,

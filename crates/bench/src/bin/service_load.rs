@@ -1,0 +1,318 @@
+//! `service-load` — wall-clock load generator for the sharded queue service.
+//!
+//! N client threads replay pre-generated mixed workloads (~55% insert,
+//! 30% extract-min, 7% extract-k(8), 5% peek, 3% len) against two targets
+//! built from the *same* per-thread op streams:
+//!
+//! 1. the sharded [`service::QueueService`] (flat-combining admission,
+//!    coalesced bulk kernels), queues spread round-robin over the shards;
+//! 2. the baseline every service talk starts with: one
+//!    `Mutex<ParBinomialHeap<i64>>` shared by all threads, driven through
+//!    the same [`meldpq::MeldablePq`] surface.
+//!
+//! Every operation is timed into an [`obs::LatencyHistogram`]; per-target
+//! p50/p95/p99/max plus throughput land in `reports/SERVICE_load.json`, and
+//! a summary object is spliced into `reports/BENCH_wallclock.json` under
+//! `"service_load"`. The run **gates**: if the service does not beat the
+//! global-lock baseline on throughput, the process exits non-zero.
+//!
+//! Flags: `--threads N` (8) · `--ops N` (65536 total) · `--queues N` (8) ·
+//! `--shards N` (4) · `--quick` (8192 ops — the CI smoke configuration).
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use bench::json::J;
+use bench::workloads;
+use meldpq::{Engine, MeldablePq, ParBinomialHeap};
+use obs::LatencyHistogram;
+use rand::Rng;
+use service::{QueueId, QueueService, ServiceBuilder};
+
+/// One pre-generated client operation (queue chosen by index).
+#[derive(Debug, Clone, Copy)]
+enum LoadOp {
+    Insert(i64),
+    ExtractMin,
+    ExtractK(usize),
+    Peek,
+    Len,
+}
+
+struct Args {
+    threads: usize,
+    ops: usize,
+    queues: usize,
+    shards: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 8,
+        ops: 1 << 16,
+        queues: 8,
+        shards: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a number"))
+        };
+        match a.as_str() {
+            "--threads" => args.threads = num("--threads").max(1),
+            "--ops" => args.ops = num("--ops").max(1),
+            "--queues" => args.queues = num("--queues").max(1),
+            "--shards" => args.shards = num("--shards").max(1),
+            "--quick" => args.ops = 1 << 13,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// The same streams drive both targets: (queue index, op) per step, biased
+/// so queues keep a few thousand keys of steady-state depth.
+fn gen_streams(threads: usize, per_thread: usize, queues: usize) -> Vec<Vec<(usize, LoadOp)>> {
+    (0..threads)
+        .map(|tid| {
+            let mut rng = workloads::rng(0x5E81_11CE ^ tid as u64);
+            (0..per_thread)
+                .map(|_| {
+                    let q = rng.gen_range(0..queues);
+                    let roll = rng.gen_range(0..100);
+                    let op = if roll < 55 {
+                        LoadOp::Insert(rng.gen_range(-1_000_000i64..1_000_000))
+                    } else if roll < 85 {
+                        LoadOp::ExtractMin
+                    } else if roll < 92 {
+                        LoadOp::ExtractK(8)
+                    } else if roll < 97 {
+                        LoadOp::Peek
+                    } else {
+                        LoadOp::Len
+                    };
+                    (q, op)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run `streams` against the sharded service. Returns (seconds, latency).
+fn run_service(
+    args: &Args,
+    streams: &[Vec<(usize, LoadOp)>],
+) -> (f64, LatencyHistogram, QueueService) {
+    let svc = Arc::new(ServiceBuilder::new().shards(args.shards).build());
+    let queues: Arc<Vec<QueueId>> =
+        Arc::new((0..args.queues).map(|_| svc.create_queue()).collect());
+    let barrier = Arc::new(Barrier::new(streams.len() + 1));
+    let mut workers = Vec::new();
+    for stream in streams {
+        let (svc, queues, barrier) = (Arc::clone(&svc), Arc::clone(&queues), Arc::clone(&barrier));
+        let stream = stream.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            barrier.wait();
+            for (qi, op) in stream {
+                let q = queues[qi % queues.len()];
+                let t0 = Instant::now();
+                match op {
+                    LoadOp::Insert(k) => svc.insert(q, k).unwrap(),
+                    LoadOp::ExtractMin => drop(svc.extract_min(q).unwrap()),
+                    LoadOp::ExtractK(k) => drop(svc.extract_k(q, k).unwrap()),
+                    LoadOp::Peek => drop(svc.peek_min(q).unwrap()),
+                    LoadOp::Len => drop(svc.len(q).unwrap()),
+                }
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            hist
+        }));
+    }
+    // Clock starts before the release: main is last to the barrier, so the
+    // span from here to the final join is the workers' wall time.
+    let t0 = Instant::now();
+    barrier.wait();
+    let mut hist = LatencyHistogram::new();
+    for w in workers {
+        hist.merge(&w.join().expect("service worker panicked"));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    svc.validate().expect("service state corrupt after load");
+    let svc = Arc::try_unwrap(svc).expect("workers joined");
+    (secs, hist, svc)
+}
+
+/// Run `streams` against one global-lock heap. Returns (seconds, latency).
+fn run_mutex(streams: &[Vec<(usize, LoadOp)>]) -> (f64, LatencyHistogram) {
+    let heap = Arc::new(Mutex::new(
+        ParBinomialHeap::new().with_engine(Engine::Sequential),
+    ));
+    let barrier = Arc::new(Barrier::new(streams.len() + 1));
+    let mut workers = Vec::new();
+    for stream in streams {
+        let (heap, barrier) = (Arc::clone(&heap), Arc::clone(&barrier));
+        let stream = stream.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            barrier.wait();
+            for (_, op) in stream {
+                let t0 = Instant::now();
+                let mut h = heap.lock().expect("baseline heap poisoned");
+                match op {
+                    LoadOp::Insert(k) => MeldablePq::insert(&mut *h, k),
+                    LoadOp::ExtractMin => drop(MeldablePq::extract_min(&mut *h)),
+                    LoadOp::ExtractK(k) => drop(MeldablePq::multi_extract_min(&mut *h, k)),
+                    LoadOp::Peek => drop(h.peek_min()),
+                    LoadOp::Len => drop(MeldablePq::len(&*h)),
+                }
+                drop(h);
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            hist
+        }));
+    }
+    let t0 = Instant::now();
+    barrier.wait();
+    let mut hist = LatencyHistogram::new();
+    for w in workers {
+        hist.merge(&w.join().expect("mutex worker panicked"));
+    }
+    (t0.elapsed().as_secs_f64(), hist)
+}
+
+fn latency_json(hist: &LatencyHistogram, ops_per_s: f64) -> J {
+    J::obj([
+        ("throughput_ops_per_s", J::Num(ops_per_s)),
+        ("ops", J::UInt(hist.count())),
+        ("mean_ns", J::UInt(hist.mean())),
+        ("p50_ns", J::UInt(hist.quantile(0.50))),
+        ("p95_ns", J::UInt(hist.quantile(0.95))),
+        ("p99_ns", J::UInt(hist.quantile(0.99))),
+        ("max_ns", J::UInt(hist.max())),
+    ])
+}
+
+/// Insert (or replace) a `"service_load"` member in the wallclock report,
+/// keeping the rest of the document byte-identical.
+fn splice_into_wallclock(path: &std::path::Path, summary: &J) {
+    let Ok(doc) = std::fs::read_to_string(path) else {
+        return; // no wallclock report yet — SERVICE_load.json stands alone
+    };
+    let doc = doc.trim_end();
+    let base = match doc.find(",\"service_load\":") {
+        Some(i) => &doc[..i],
+        None => match doc.strip_suffix('}') {
+            Some(b) => b,
+            None => return,
+        },
+    };
+    let spliced = format!("{base},\"service_load\":{summary}}}\n");
+    std::fs::write(path, spliced).expect("rewrite BENCH_wallclock.json");
+    println!("spliced service_load into {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let per_thread = args.ops.div_ceil(args.threads);
+    let total = per_thread * args.threads;
+    println!(
+        "service-load: {} threads x {} ops over {} queues / {} shards",
+        args.threads, per_thread, args.queues, args.shards
+    );
+    let streams = gen_streams(args.threads, per_thread, args.queues);
+
+    let (svc_secs, svc_hist, svc) = run_service(&args, &streams);
+    let svc_tput = total as f64 / svc_secs;
+    let (mtx_secs, mtx_hist) = run_mutex(&streams);
+    let mtx_tput = total as f64 / mtx_secs;
+
+    // Batching evidence: summed shard counters from the service run.
+    let mut batches = 0u64;
+    let mut max_batch = 0u64;
+    let mut bulk_builds = 0u64;
+    let mut coalesced = 0u64;
+    let mut multi_extracts = 0u64;
+    for s in 0..args.shards {
+        let st = svc.shard_stats(s);
+        batches += st.batches;
+        max_batch = max_batch.max(st.max_batch);
+        bulk_builds += st.bulk_builds;
+        coalesced += st.coalesced_inserts + st.coalesced_pops;
+        multi_extracts += st.multi_extracts;
+    }
+
+    let ratio = svc_tput / mtx_tput;
+    let pass = ratio > 1.0;
+    let gate = J::obj([
+        ("name", J::Str("service_beats_global_lock".into())),
+        ("service_ops_per_s", J::Num(svc_tput)),
+        ("mutex_ops_per_s", J::Num(mtx_tput)),
+        ("ratio", J::Num(ratio)),
+        ("threshold", J::Num(1.0)),
+        ("pass", J::Bool(pass)),
+    ]);
+    let doc = J::obj([
+        ("report", J::Str("service_load".into())),
+        (
+            "note",
+            J::Str(
+                "N client threads, identical pre-generated mixed op streams \
+                 against the sharded flat-combining service vs one mutexed \
+                 ParBinomialHeap; latencies in ns from obs::LatencyHistogram \
+                 (log2 buckets, 6.25% relative error)"
+                    .into(),
+            ),
+        ),
+        ("threads", J::UInt(args.threads as u64)),
+        ("ops", J::UInt(total as u64)),
+        ("queues", J::UInt(args.queues as u64)),
+        ("shards", J::UInt(args.shards as u64)),
+        ("service", latency_json(&svc_hist, svc_tput)),
+        ("mutex_baseline", latency_json(&mtx_hist, mtx_tput)),
+        (
+            "batching",
+            J::obj([
+                ("batches", J::UInt(batches)),
+                ("max_batch", J::UInt(max_batch)),
+                ("bulk_builds", J::UInt(bulk_builds)),
+                ("coalesced_ops", J::UInt(coalesced)),
+                ("multi_extracts", J::UInt(multi_extracts)),
+            ]),
+        ),
+        ("gate", gate),
+    ]);
+
+    let reports = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../reports");
+    let _ = std::fs::create_dir_all(&reports);
+    let out = reports.join("SERVICE_load.json");
+    std::fs::write(&out, format!("{doc}\n")).expect("write SERVICE_load.json");
+    println!("wrote {}", out.display());
+
+    let summary = J::obj([
+        ("service_ops_per_s", J::Num(svc_tput)),
+        ("mutex_ops_per_s", J::Num(mtx_tput)),
+        ("ratio", J::Num(ratio)),
+        ("service_p99_ns", J::UInt(svc_hist.quantile(0.99))),
+        ("mutex_p99_ns", J::UInt(mtx_hist.quantile(0.99))),
+        ("pass", J::Bool(pass)),
+    ]);
+    splice_into_wallclock(&reports.join("BENCH_wallclock.json"), &summary);
+
+    println!(
+        "service: {:.0} ops/s (p50 {} ns, p99 {} ns) | mutex: {:.0} ops/s (p50 {} ns, p99 {} ns) | {:.2}x",
+        svc_tput,
+        svc_hist.quantile(0.50),
+        svc_hist.quantile(0.99),
+        mtx_tput,
+        mtx_hist.quantile(0.50),
+        mtx_hist.quantile(0.99),
+        ratio
+    );
+    if !pass {
+        eprintln!("FAIL: sharded service did not beat the global-lock baseline");
+        std::process::exit(1);
+    }
+}

@@ -349,15 +349,20 @@ pub fn theorem1_ops(bits_list: &[usize]) -> Vec<T1OpsRow> {
             let p = theorem_p(n);
             // n = 2^k - 1: all tree orders present (the busiest root array).
             let mut h = workloads::random_heap(&mut rng, n);
-            let (got, c) = h.extract_min_measured(p);
+            let before = h.pram_ledger().time;
+            let got = h.extract_min_pram(p);
             assert!(got.is_some());
-            let extract_time = c.time;
+            let extract_time = h.pram_ledger().time - before;
             // Insert into the (n-2^j)-shaped heap left behind.
-            let insert_time = h.insert_measured(0, p).time;
+            let before = h.pram_ledger().time;
+            h.insert_pram(0, p);
+            let insert_time = h.pram_ledger().time - before;
             // Union of two fresh all-ones heaps (maximal carry chains).
             let union_time = {
                 let mut a = workloads::random_heap(&mut rng, n);
-                a.meld_measured(workloads::random_heap(&mut rng, n), p).time
+                let before = a.pram_ledger().time;
+                a.meld_pram(workloads::random_heap(&mut rng, n), p);
+                a.pram_ledger().time - before
             };
             T1OpsRow {
                 n,

@@ -25,17 +25,30 @@ use crate::pool::HeapPool;
 const SEQ_THRESHOLD: usize = 8 * 1024;
 
 impl ParBinomialHeap<i64> {
-    /// `Multi-Insert` with measured Theorem 1-style cost: the batch is built
-    /// by the PRAM `Make-Queue` and melded by the PRAM Union; both costs
-    /// sum.
-    pub fn multi_insert_measured(&mut self, keys: &[i64], p: usize) -> pram::Cost {
+    /// `Multi-Insert` planned on the PRAM simulator: the batch is built by
+    /// the PRAM `Make-Queue` and melded by the PRAM Union; both costs land on
+    /// [`Self::pram_ledger`](ParBinomialHeap::pram_ledger).
+    pub fn multi_insert_pram(&mut self, keys: &[i64], p: usize) {
         if keys.is_empty() {
-            return pram::Cost::ZERO;
+            return;
         }
         let (batch, build_cost) =
             ParBinomialHeap::from_keys_pram(keys, p).expect("EREW-legal build");
-        let meld_cost = self.meld_measured(batch, p);
-        build_cost + meld_cost
+        self.add_pram_cost(build_cost);
+        self.meld_pram(batch, p);
+    }
+
+    /// Deprecated shim kept for the report binaries:
+    /// [`Self::multi_insert_pram`] + the ledger delta.
+    #[deprecated(note = "use multi_insert_pram and read pram_ledger() via obs::Recorder")]
+    pub fn multi_insert_measured(&mut self, keys: &[i64], p: usize) -> pram::Cost {
+        let before = *self.pram_ledger();
+        self.multi_insert_pram(keys, p);
+        let after = *self.pram_ledger();
+        pram::Cost {
+            time: after.time - before.time,
+            work: after.work - before.work,
+        }
     }
 }
 
@@ -56,7 +69,7 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             return ParBinomialHeap::from_keys(keys.iter().copied());
         }
         let mut pool = HeapPool::with_capacity(keys.len());
-        let h = pool.from_keys_parallel(keys, engine);
+        let h = pool.from_keys_parallel_with(keys, engine);
         pool.into_heap(h)
     }
 
@@ -240,9 +253,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn measured_multi_insert() {
         let mut h = ParBinomialHeap::from_keys([100, 200, 300]);
-        let c = h.multi_insert_measured(&[5, 1, 4, 1, 5], 3);
+        h.multi_insert_pram(&[5, 1, 4, 1, 5], 3);
+        let c = *h.pram_ledger();
         assert!(c.time > 0 && c.work >= c.time);
         h.validate().unwrap();
         assert_eq!(h.len(), 8);

@@ -252,12 +252,11 @@ mod tests {
 
     #[test]
     fn pool_check_accepts_healthy_pools_and_finds_leaks() {
-        use crate::heap::Engine;
         let mut pool: HeapPool<i64> = HeapPool::new();
         let mut a = pool.from_keys(0..9);
         let b = pool.from_keys(20..25);
         check_pool(&pool, &[&a, &b]).unwrap();
-        pool.meld(&mut a, b, Engine::Sequential);
+        pool.meld(&mut a, b);
         check_pool(&pool, &[&a]).unwrap();
         // A heap the caller forgot to list shows up as leaked nodes.
         let c = pool.from_keys([99]);

@@ -23,7 +23,7 @@ pub enum Engine {
 ///
 /// Generic over the key type `K: Ord + Copy` (use a `(priority, payload)`
 /// tuple to carry data). The default `K = i64` is the PRAM machine word: the
-/// measured engines (`meld_measured`, `from_keys_pram`, …) exist only for
+/// measured engines (`meld_pram`, `from_keys_pram`, …) exist only for
 /// word keys, because the simulator stores keys in memory cells.
 #[derive(Debug, Clone)]
 pub struct ParBinomialHeap<K = i64> {
@@ -31,6 +31,13 @@ pub struct ParBinomialHeap<K = i64> {
     /// Root array `H`: slot `i` = root of `B_i`.
     roots: Vec<Option<NodeId>>,
     len: usize,
+    /// Default planning engine, used by the engine-less [`MeldablePq`]
+    /// surface (`crate::meldable`); the explicit-engine methods ignore it.
+    engine: Engine,
+    /// Cumulative Theorem-1 cost of every op planned on the PRAM simulator
+    /// (`*_pram` methods; `i64` keys only). `pram::Cost` implements
+    /// [`obs::Recorder`], so this ledger snapshots straight into a registry.
+    ledger: pram::Cost,
 }
 
 impl<K> Default for ParBinomialHeap<K> {
@@ -39,6 +46,8 @@ impl<K> Default for ParBinomialHeap<K> {
             arena: Arena::new(),
             roots: Vec::new(),
             len: 0,
+            engine: Engine::Sequential,
+            ledger: pram::Cost::ZERO,
         }
     }
 }
@@ -47,6 +56,24 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     /// `Make-Queue`: an empty heap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builder: set the default planning engine used by the engine-less
+    /// [`crate::MeldablePq`] surface. The explicit-engine methods
+    /// (`meld(.., engine)`, …) are unaffected.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The default planning engine (see [`Self::with_engine`]).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Change the default planning engine in place.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// With `--features debug-validate`, run the deep `meldpq::check` pass
@@ -222,21 +249,54 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
 }
 
 impl ParBinomialHeap<i64> {
-    /// `Union` with measured Theorem 1 cost: plans on the EREW PRAM
-    /// simulator with `p` processors, applies the plan, and returns the
-    /// measured cost.
-    pub fn meld_measured(&mut self, other: ParBinomialHeap, p: usize) -> pram::Cost {
-        let other_len = other.len;
-        if other_len == 0 {
-            return pram::Cost::ZERO;
+    /// Cumulative Theorem-1 cost of every `*_pram` op run so far. The
+    /// returned [`pram::Cost`] implements `obs::Recorder`, so callers report
+    /// it straight into an `obs::Registry`:
+    ///
+    /// ```
+    /// # let mut h = meldpq::ParBinomialHeap::new();
+    /// # h.insert_pram(3, 2);
+    /// let mut reg = obs::Registry::new();
+    /// reg.record("union", h.pram_ledger());
+    /// ```
+    pub fn pram_ledger(&self) -> &pram::Cost {
+        &self.ledger
+    }
+
+    /// Take the ledger, resetting it to zero (per-window deltas).
+    pub fn take_pram_ledger(&mut self) -> pram::Cost {
+        std::mem::take(&mut self.ledger)
+    }
+
+    /// Accumulate an externally measured cost (e.g. a PRAM `Make-Queue`
+    /// build feeding `multi_insert_pram`) onto the ledger.
+    pub(crate) fn add_pram_cost(&mut self, cost: pram::Cost) {
+        self.ledger += cost;
+    }
+
+    /// Ledger growth since `before` (the per-op delta the deprecated
+    /// `*_measured` shims return).
+    fn ledger_since(&self, before: pram::Cost) -> pram::Cost {
+        pram::Cost {
+            time: self.ledger.time - before.time,
+            work: self.ledger.work - before.work,
         }
-        let remap = self.arena.absorb(other.arena);
-        let other_roots: Vec<Option<NodeId>> = other.roots.iter().map(|r| r.map(&remap)).collect();
+    }
+
+    /// The one measured meld core behind `insert_pram` / `meld_pram` /
+    /// `extract_min_pram`: plan `other_roots` (already in `self.arena`) on a
+    /// `p`-processor EREW PRAM, apply, and accumulate the measured cost on
+    /// [`Self::pram_ledger`]. Trivial melds (either side empty) are free,
+    /// exactly as in the paper's accounting.
+    fn meld_roots_pram(&mut self, other_roots: Vec<Option<NodeId>>, other_len: usize, p: usize) {
+        if other_len == 0 {
+            return;
+        }
         if self.len == 0 {
             self.roots = other_roots;
             self.len = other_len;
             self.trim();
-            return pram::Cost::ZERO;
+            return;
         }
         let width = plan_width(self.len, other_len);
         let h1 = self.root_refs(width);
@@ -252,30 +312,42 @@ impl ParBinomialHeap<i64> {
             .expect("the Union program is EREW-legal");
         self.apply_plan(&out.plan);
         self.len += other_len;
+        self.ledger += out.cost;
         self.debug_validate();
-        out.cost
     }
 
-    /// `Insert` with measured Theorem 1 cost (a singleton `Union`).
-    pub fn insert_measured(&mut self, key: i64, p: usize) -> pram::Cost {
+    /// `Union(Q1, Q2)` planned on the EREW PRAM simulator with `p`
+    /// processors; the measured Theorem-1 cost lands on [`Self::pram_ledger`].
+    pub fn meld_pram(&mut self, other: ParBinomialHeap, p: usize) {
+        let other_len = other.len;
+        if other_len == 0 {
+            return;
+        }
+        let remap = self.arena.absorb(other.arena);
+        let other_roots: Vec<Option<NodeId>> = other.roots.iter().map(|r| r.map(&remap)).collect();
+        self.meld_roots_pram(other_roots, other_len, p);
+    }
+
+    /// `Insert(Q, x)` planned on the PRAM simulator (a singleton `Union`);
+    /// cost lands on [`Self::pram_ledger`].
+    pub fn insert_pram(&mut self, key: i64, p: usize) {
         let mut single = ParBinomialHeap::new();
         let id = single.arena.alloc(key);
         single.roots.push(Some(id));
         single.len = 1;
-        self.meld_measured(single, p)
+        self.meld_pram(single, p);
     }
 
-    /// `Extract-Min` with measured Theorem 1 cost: an EREW min-reduction
-    /// over the root array plus the children re-meld, both on the simulator.
-    pub fn extract_min_measured(&mut self, p: usize) -> (Option<i64>, pram::Cost) {
+    /// `Extract-Min(Q)` planned on the PRAM simulator: an EREW min-reduction
+    /// over the root array plus the children re-meld, both measured onto
+    /// [`Self::pram_ledger`].
+    pub fn extract_min_pram(&mut self, p: usize) -> Option<i64> {
         let width = self.roots.len();
         let refs = self.root_refs(width);
         let (min, reduce_cost) =
             crate::engine_pram::min_pram(&refs, p).expect("the reduction is EREW-legal");
-        let Some(min) = min else {
-            return (None, reduce_cost);
-        };
-        let min_id = min.id;
+        self.ledger += reduce_cost;
+        let min_id = min?.id;
         let order = self.arena.get(min_id).children.len();
         debug_assert_eq!(self.roots[order], Some(min_id));
         self.roots[order] = None;
@@ -286,28 +358,37 @@ impl ParBinomialHeap<i64> {
         for &c in &children {
             self.arena.get_mut(c).parent = None;
         }
-        let mut union_cost = pram::Cost::ZERO;
-        if child_count > 0 && self.len > 0 {
-            let width = plan_width(self.len, child_count);
-            let h1 = self.root_refs(width);
-            let h2: Vec<Option<RootRef>> = (0..width)
-                .map(|i| {
-                    children.get(i).copied().map(|id| RootRef {
-                        key: self.arena.get(id).key,
-                        id,
-                    })
-                })
-                .collect();
-            let out = crate::engine_pram::build_plan_pram(&h1, &h2, p)
-                .expect("the Union program is EREW-legal");
-            self.apply_plan(&out.plan);
-            union_cost = out.cost;
-        } else if child_count > 0 {
-            self.roots = children.into_iter().map(Some).collect();
-        }
-        self.len += child_count;
+        let residual: Vec<Option<NodeId>> = children.into_iter().map(Some).collect();
+        self.meld_roots_pram(residual, child_count, p);
         self.debug_validate();
-        (Some(key), reduce_cost + union_cost)
+        Some(key)
+    }
+
+    /// Deprecated shim kept for the report binaries (seed meters must stay
+    /// byte-identical): [`Self::meld_pram`] + the ledger delta.
+    #[deprecated(note = "use meld_pram and read pram_ledger() via obs::Recorder")]
+    pub fn meld_measured(&mut self, other: ParBinomialHeap, p: usize) -> pram::Cost {
+        let before = self.ledger;
+        self.meld_pram(other, p);
+        self.ledger_since(before)
+    }
+
+    /// Deprecated shim kept for the report binaries: [`Self::insert_pram`] +
+    /// the ledger delta.
+    #[deprecated(note = "use insert_pram and read pram_ledger() via obs::Recorder")]
+    pub fn insert_measured(&mut self, key: i64, p: usize) -> pram::Cost {
+        let before = self.ledger;
+        self.insert_pram(key, p);
+        self.ledger_since(before)
+    }
+
+    /// Deprecated shim kept for the report binaries:
+    /// [`Self::extract_min_pram`] + the ledger delta.
+    #[deprecated(note = "use extract_min_pram and read pram_ledger() via obs::Recorder")]
+    pub fn extract_min_measured(&mut self, p: usize) -> (Option<i64>, pram::Cost) {
+        let before = self.ledger;
+        let got = self.extract_min_pram(p);
+        (got, self.ledger_since(before))
     }
 }
 
@@ -342,7 +423,13 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     /// handoff in [`HeapPool::into_heap`](crate::pool::HeapPool::into_heap)).
     /// The arena must hold exactly the heap's nodes.
     pub(crate) fn from_raw_parts(arena: Arena<K>, roots: Vec<Option<NodeId>>, len: usize) -> Self {
-        let mut h = ParBinomialHeap { arena, roots, len };
+        let mut h = ParBinomialHeap {
+            arena,
+            roots,
+            len,
+            engine: Engine::Sequential,
+            ledger: pram::Cost::ZERO,
+        };
         h.trim();
         h.debug_validate();
         h
@@ -573,38 +660,47 @@ mod tests {
     }
 
     #[test]
-    fn measured_ops_match_unmeasured_semantics() {
+    fn pram_ops_match_unmeasured_semantics() {
         let mut a = ParBinomialHeap::from_keys([5, 9, 1, 7, 3]);
         let b = ParBinomialHeap::from_keys([2, 8, 4, 6]);
-        let cost = a.meld_measured(b, 3);
-        assert!(cost.time > 0);
+        a.meld_pram(b, 3);
+        assert!(a.pram_ledger().time > 0);
         a.validate().unwrap();
-        let c2 = a.insert_measured(0, 3);
-        assert!(c2.time > 0);
+        let before = *a.pram_ledger();
+        a.insert_pram(0, 3);
+        assert!(a.pram_ledger().time > before.time);
         a.validate().unwrap();
         let mut out = Vec::new();
-        let mut total = pram::Cost::ZERO;
-        loop {
-            let (k, c) = a.extract_min_measured(3);
-            total += c;
-            match k {
-                Some(k) => out.push(k),
-                None => break,
-            }
+        while let Some(k) = a.extract_min_pram(3) {
+            out.push(k);
             a.validate().unwrap();
         }
         assert_eq!(out, (0..10).collect::<Vec<_>>());
+        let total = a.take_pram_ledger();
         assert!(total.work >= total.time);
+        assert_eq!(*a.pram_ledger(), pram::Cost::ZERO);
     }
 
     #[test]
-    fn measured_meld_with_empty_sides() {
+    #[allow(deprecated)]
+    fn measured_shims_report_per_op_deltas() {
         let mut e = ParBinomialHeap::new();
         assert_eq!(e.meld_measured(ParBinomialHeap::new(), 2), pram::Cost::ZERO);
         let c = e.meld_measured(ParBinomialHeap::from_keys([4, 2]), 2);
         assert_eq!(c, pram::Cost::ZERO); // moving into an empty heap is free
         assert_eq!(e.len(), 2);
         e.validate().unwrap();
+        // The shim's delta must match a fresh heap's full ledger for the
+        // same single op.
+        let mut a = ParBinomialHeap::from_keys([5, 9, 1, 7, 3]);
+        let b = ParBinomialHeap::from_keys([2, 8, 4, 6]);
+        let mut a2 = a.clone();
+        let delta = a.meld_measured(b.clone(), 3);
+        a2.meld_pram(b, 3);
+        assert_eq!(delta, *a2.pram_ledger());
+        let (k, c) = a.extract_min_measured(3);
+        assert_eq!(k, Some(1));
+        assert!(c.time > 0);
     }
 
     #[test]

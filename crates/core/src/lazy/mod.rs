@@ -180,6 +180,11 @@ impl LazyBinomialHeap {
         self.auto_arrange = on;
     }
 
+    /// Processors assumed for cost accounting (`p` of Theorem 2).
+    pub fn processors(&self) -> usize {
+        self.p
+    }
+
     /// With `--features debug-validate`, run the deep `meldpq::check` pass
     /// and panic on the first violation; a no-op otherwise. Called after
     /// every hot-path mutation.

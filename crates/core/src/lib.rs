@@ -40,6 +40,7 @@ pub mod engine_pram;
 pub mod engine_rayon;
 pub mod heap;
 pub mod lazy;
+pub mod meldable;
 pub mod plan;
 pub mod pool;
 pub mod viz;
@@ -47,5 +48,6 @@ pub mod viz;
 pub use arena::{Arena, ArenaStats, Node, NodeId};
 pub use check::CheckedPq;
 pub use heap::{Engine, ParBinomialHeap};
+pub use meldable::{MeldablePq, PoolGuard, PramMeasured};
 pub use plan::{LinkOp, PointType, RootRef, UnionPlan};
 pub use pool::{HeapPool, PooledHeap};

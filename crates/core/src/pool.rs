@@ -77,10 +77,17 @@ impl PooledHeap {
 }
 
 /// A pool of binomial heaps sharing one node slab. See the module docs.
+///
+/// Every planning op (`meld`, `extract_min`, `multi_extract_min`,
+/// `from_keys_parallel`, `meld_cross_pool`) uses the pool-level default
+/// [`Engine`] (set with [`HeapPool::with_engine`]); the `*_with` variants
+/// take an explicit engine for call sites that mix planners.
 #[derive(Debug)]
 pub struct HeapPool<K = i64> {
     id: PoolId,
     arena: Arena<K>,
+    /// Default planning engine for every op without an explicit `*_with`.
+    engine: Engine,
     // Reusable planning scratch: padded root references for both operands
     // and the plan itself. Cleared and refilled on every sequential meld —
     // no per-meld Vec churn on the hot loop.
@@ -106,10 +113,27 @@ impl<K> HeapPool<K> {
         HeapPool {
             id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
             arena: Arena::with_capacity(cap),
+            engine: Engine::Sequential,
             scratch_h1: Vec::new(),
             scratch_h2: Vec::new(),
             scratch_plan: UnionPlan::default(),
         }
+    }
+
+    /// Builder: set the default planning engine for this pool's ops.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The pool's default planning engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Change the default planning engine in place.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// This pool's identity stamp.
@@ -218,9 +242,14 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
         self.min_root(h).map(|id| self.arena.get(id).key)
     }
 
+    /// `Extract-Min(Q)` with the pool's default engine.
+    pub fn extract_min(&mut self, h: &mut PooledHeap) -> Option<K> {
+        self.extract_min_with(h, self.engine)
+    }
+
     /// `Extract-Min(Q)`: remove and return the minimum; the children re-meld
     /// with the chosen engine — all inside the shared slab, zero copies.
-    pub fn extract_min(&mut self, h: &mut PooledHeap, engine: Engine) -> Option<K> {
+    pub fn extract_min_with(&mut self, h: &mut PooledHeap, engine: Engine) -> Option<K> {
         let min_id = self.min_root(h)?;
         let order = self.arena.get(min_id).children.len();
         debug_assert_eq!(h.roots[order], Some(min_id));
@@ -238,19 +267,34 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
         Some(key)
     }
 
+    /// `Union(Q1, Q2)` with the pool's default engine.
+    pub fn meld(&mut self, a: &mut PooledHeap, b: PooledHeap) {
+        self.meld_with(a, b, self.engine)
+    }
+
     /// `Union(Q1, Q2)` for two heaps of this pool: pure plan application —
     /// `O(log n)` pointer writes, zero node copies, zero allocations of node
     /// storage. `b` is consumed.
-    pub fn meld(&mut self, a: &mut PooledHeap, b: PooledHeap, engine: Engine) {
+    pub fn meld_with(&mut self, a: &mut PooledHeap, b: PooledHeap, engine: Engine) {
         self.assert_owner(a);
         self.assert_owner(&b);
         self.meld_roots(a, &b.roots, b.len, engine);
         self.debug_validate(a);
     }
 
+    /// `Multi-Extract-Min` with the pool's default engine.
+    pub fn multi_extract_min(&mut self, h: &mut PooledHeap, k: usize) -> Vec<K> {
+        self.multi_extract_min_with(h, k, self.engine)
+    }
+
     /// Extract the `k` smallest keys with the root-frontier kernel: one
     /// peel + one re-meld instead of `k` sequential `Extract-Min` plans.
-    pub fn multi_extract_min(&mut self, h: &mut PooledHeap, k: usize, engine: Engine) -> Vec<K> {
+    pub fn multi_extract_min_with(
+        &mut self,
+        h: &mut PooledHeap,
+        k: usize,
+        engine: Engine,
+    ) -> Vec<K> {
         self.assert_owner(h);
         let take = k.min(h.len);
         if take == 0 {
@@ -267,7 +311,20 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
     /// Drain a heap into ascending order (consumes the handle).
     pub fn into_sorted_vec(&mut self, mut h: PooledHeap) -> Vec<K> {
         let n = h.len;
-        self.multi_extract_min(&mut h, n, Engine::Sequential)
+        self.multi_extract_min_with(&mut h, n, Engine::Sequential)
+    }
+
+    /// Destroy a heap, deallocating every node it owns back to the slab.
+    /// Returns the number of nodes freed.
+    pub fn free_heap(&mut self, h: PooledHeap) -> usize {
+        self.assert_owner(&h);
+        let mut ids = Vec::with_capacity(h.len);
+        self.collect_node_ids(&h, &mut ids);
+        let freed = ids.len();
+        for id in ids {
+            self.arena.dealloc(id);
+        }
+        freed
     }
 
     /// Deep-copy a heap within the pool (counted as copies on the slab).
@@ -303,10 +360,20 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
         out
     }
 
+    /// [`Self::meld_cross_pool_with`] with the pool's default engine.
+    pub fn meld_cross_pool(
+        &mut self,
+        dst: &mut PooledHeap,
+        src_pool: &mut HeapPool<K>,
+        src: PooledHeap,
+    ) {
+        self.meld_cross_pool_with(dst, src_pool, src, self.engine)
+    }
+
     /// `Union` across pools: move `src`'s trees node by node out of
     /// `src_pool` into this pool (counted copies), then meld zero-copy.
     /// The explicit fallback for when two heaps do *not* share a slab.
-    pub fn meld_cross_pool(
+    pub fn meld_cross_pool_with(
         &mut self,
         dst: &mut PooledHeap,
         src_pool: &mut HeapPool<K>,
@@ -403,12 +470,17 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
         }
     }
 
+    /// [`Self::from_keys_parallel_with`] with the pool's default engine.
+    pub fn from_keys_parallel(&mut self, keys: &[K]) -> PooledHeap {
+        self.from_keys_parallel_with(keys, self.engine)
+    }
+
     /// Build a heap from keys using all rayon workers, entirely inside the
     /// pool's slab: the key range splits recursively, each half builds into
     /// a disjoint slice of one pre-sized slab with ids baked against the
     /// final base offset, and the halves meld zero-copy on the way up using
     /// the chosen planning engine. No absorb, no remap — ever.
-    pub fn from_keys_parallel(&mut self, keys: &[K], engine: Engine) -> PooledHeap {
+    pub fn from_keys_parallel_with(&mut self, keys: &[K], engine: Engine) -> PooledHeap {
         let base = self.arena.slab_len();
         assert!(
             base + keys.len() < u32::MAX as usize,
@@ -714,7 +786,7 @@ mod tests {
         let mut a = pool.from_keys(0..100);
         let b = pool.from_keys(200..250);
         let before = pool.stats();
-        pool.meld(&mut a, b, Engine::Sequential);
+        pool.meld(&mut a, b);
         let after = pool.stats();
         assert_eq!(before, after, "same-pool meld must not alloc or copy");
         assert_eq!(a.len(), 150);
@@ -732,8 +804,8 @@ mod tests {
             pool.validate_heap(&h).unwrap();
         }
         assert_eq!(pool.min(&h), Some(1));
-        assert_eq!(pool.extract_min(&mut h, Engine::Sequential), Some(1));
-        assert_eq!(pool.extract_min(&mut h, Engine::Rayon), Some(3));
+        assert_eq!(pool.extract_min(&mut h), Some(1));
+        assert_eq!(pool.extract_min_with(&mut h, Engine::Rayon), Some(3));
         pool.validate_heap(&h).unwrap();
         let rest = pool.into_sorted_vec(h);
         assert_eq!(rest, vec![3, 5, 7, 8, 9]);
@@ -747,7 +819,7 @@ mod tests {
         assert_eq!(pool.stats().copies, 3);
         pool.validate_heap(&b).unwrap();
         // Mutating the original leaves the clone intact.
-        pool.extract_min(&mut a, Engine::Sequential);
+        pool.extract_min(&mut a);
         pool.validate_heap(&a).unwrap();
         pool.validate_heap(&b).unwrap();
         assert_eq!(pool.into_sorted_vec(b), vec![2, 4, 6]);
@@ -760,7 +832,7 @@ mod tests {
         let mut p2: HeapPool<i64> = HeapPool::new();
         let mut a = p1.from_keys([1, 5, 9]);
         let b = p2.from_keys([2, 4, 6, 8]);
-        p1.meld_cross_pool(&mut a, &mut p2, b, Engine::Sequential);
+        p1.meld_cross_pool(&mut a, &mut p2, b);
         assert_eq!(p1.stats().copies, 4, "cross-pool meld copies the source");
         assert_eq!(p2.live_nodes(), 0, "source pool is drained");
         p1.validate_heap(&a).unwrap();
@@ -793,7 +865,7 @@ mod tests {
             .map(|i| (i * 2654435761u64 as i64) % 9973)
             .collect();
         let mut pool: HeapPool<i64> = HeapPool::with_capacity(keys.len());
-        let h = pool.from_keys_parallel(&keys, Engine::Rayon);
+        let h = pool.from_keys_parallel_with(&keys, Engine::Rayon);
         assert_eq!(pool.stats().allocs, keys.len() as u64);
         assert_eq!(pool.stats().copies, 0, "parallel build must never copy");
         pool.validate_heap(&h).unwrap();
@@ -807,7 +879,7 @@ mod tests {
         let keys: Vec<i64> = (0..2000).map(|i| (i * 37) % 211).collect();
         let mut pool: HeapPool<i64> = HeapPool::new();
         let mut h = pool.from_keys(keys.iter().copied());
-        let got = pool.multi_extract_min(&mut h, 500, Engine::Sequential);
+        let got = pool.multi_extract_min(&mut h, 500);
         pool.validate_heap(&h).unwrap();
         let mut expected = keys.clone();
         expected.sort_unstable();

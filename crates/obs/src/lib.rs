@@ -36,8 +36,10 @@
 
 pub mod bounds;
 pub mod json;
+pub mod latency;
 pub mod recorder;
 pub mod span;
 
+pub use latency::LatencyHistogram;
 pub use recorder::{Record, Recorder, Registry, Telemetry};
 pub use span::{enabled, span, take_spans, SpanGuard, SpanStat};

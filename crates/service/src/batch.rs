@@ -1,0 +1,197 @@
+//! The admission layer: requests, completion slots and the per-shard
+//! ingress buffer.
+//!
+//! This is the shared-memory rendition of the paper's I/O-processor front
+//! end: clients deposit operations into a *Waiting* buffer (the
+//! [`Ingress`]); whichever thread wins the shard's state lock becomes the
+//! combiner, drains the whole buffer as one batch (the *Forehead*), executes
+//! it against the shard's [`meldpq::HeapPool`] with the bulk kernels, and
+//! publishes each result through its [`OpSlot`].
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::service::QueueId;
+use crate::ServiceError;
+
+/// One queued operation. `Meld` is absent by design: it spans two queues
+/// (possibly two shards) and is executed by the service front end under both
+/// shard locks instead of through a single shard's ingress.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `Insert(Q, x)`.
+    Insert {
+        /// Target queue.
+        queue: QueueId,
+        /// Key to add.
+        key: i64,
+    },
+    /// `Multi-Insert(Q, keys)`.
+    MultiInsert {
+        /// Target queue.
+        queue: QueueId,
+        /// Keys to add.
+        keys: Vec<i64>,
+    },
+    /// `Extract-Min(Q)`.
+    ExtractMin {
+        /// Target queue.
+        queue: QueueId,
+    },
+    /// `Multi-Extract-Min(Q, k)`.
+    ExtractK {
+        /// Target queue.
+        queue: QueueId,
+        /// Number of keys to remove.
+        k: usize,
+    },
+    /// `Min(Q)` without removal.
+    PeekMin {
+        /// Target queue.
+        queue: QueueId,
+    },
+    /// Current size of the queue.
+    Len {
+        /// Target queue.
+        queue: QueueId,
+    },
+}
+
+impl Request {
+    /// The queue this request targets.
+    pub fn queue(&self) -> QueueId {
+        match self {
+            Request::Insert { queue, .. }
+            | Request::MultiInsert { queue, .. }
+            | Request::ExtractMin { queue }
+            | Request::ExtractK { queue, .. }
+            | Request::PeekMin { queue }
+            | Request::Len { queue } => *queue,
+        }
+    }
+}
+
+/// The result published back through an [`OpSlot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// An insert completed.
+    Done,
+    /// A pop or peek: the key, `None` when the queue was empty.
+    Key(Option<i64>),
+    /// A multi-extract: the keys in ascending order.
+    Keys(Vec<i64>),
+    /// A length query.
+    Len(usize),
+    /// The operation failed (stale handle, unknown queue).
+    Err(ServiceError),
+}
+
+/// One-shot completion cell a client blocks on while the combiner works.
+#[derive(Debug, Default)]
+pub struct OpSlot {
+    result: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl OpSlot {
+    /// A fresh, unfilled slot.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish the result and wake the waiter. Filling twice is a combiner
+    /// bug and panics.
+    pub fn fill(&self, r: Response) {
+        let mut g = self.result.lock().expect("slot poisoned");
+        assert!(g.is_none(), "OpSlot filled twice");
+        *g = Some(r);
+        self.ready.notify_all();
+    }
+
+    /// Take the result if the combiner has published it.
+    pub fn try_take(&self) -> Option<Response> {
+        self.result.lock().expect("slot poisoned").take()
+    }
+
+    /// Block briefly for a result; returns it if published within `dur`.
+    pub fn wait_for(&self, dur: Duration) -> Option<Response> {
+        let mut g = self.result.lock().expect("slot poisoned");
+        if let Some(r) = g.take() {
+            return Some(r);
+        }
+        let (mut g, _timeout) = self.ready.wait_timeout(g, dur).expect("slot poisoned");
+        g.take()
+    }
+}
+
+/// The shard's Waiting buffer: pending `(request, completion-slot)` pairs.
+///
+/// Deliberately a plain `Mutex<Vec<..>>` — pushes are two pointer writes
+/// under an uncontended-in-the-common-case lock, and the combiner takes the
+/// whole vector in O(1) with `mem::take`.
+#[derive(Debug, Default)]
+pub struct Ingress {
+    pending: Mutex<Vec<(Request, Arc<OpSlot>)>>,
+}
+
+impl Ingress {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a request; returns the slot the result will arrive in.
+    pub fn push(&self, req: Request) -> Arc<OpSlot> {
+        let slot = OpSlot::new();
+        self.pending
+            .lock()
+            .expect("ingress poisoned")
+            .push((req, Arc::clone(&slot)));
+        slot
+    }
+
+    /// Take the whole pending batch (the combiner's drain).
+    pub fn drain(&self) -> Vec<(Request, Arc<OpSlot>)> {
+        std::mem::take(&mut *self.pending.lock().expect("ingress poisoned"))
+    }
+
+    /// Number of requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.pending.lock().expect("ingress poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrip() {
+        let s = OpSlot::new();
+        assert_eq!(s.try_take(), None);
+        s.fill(Response::Key(Some(7)));
+        assert_eq!(s.try_take(), Some(Response::Key(Some(7))));
+        assert_eq!(s.try_take(), None, "take consumes");
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_filled() {
+        let s = OpSlot::new();
+        s.fill(Response::Done);
+        assert_eq!(s.wait_for(Duration::from_secs(5)), Some(Response::Done));
+    }
+
+    #[test]
+    fn ingress_drains_in_arrival_order() {
+        let ing = Ingress::new();
+        let q = QueueId::new(0, 0, 1);
+        let _s1 = ing.push(Request::Insert { queue: q, key: 1 });
+        let _s2 = ing.push(Request::ExtractMin { queue: q });
+        assert_eq!(ing.depth(), 2);
+        let batch = ing.drain();
+        assert_eq!(batch.len(), 2);
+        assert!(matches!(batch[0].0, Request::Insert { .. }));
+        assert!(matches!(batch[1].0, Request::ExtractMin { .. }));
+        assert_eq!(ing.depth(), 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! The tenant-facing front end: [`QueueService`] and its handle type.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use meldpq::{ArenaStats, Engine};
+use obs::Registry;
+
+use crate::batch::{OpSlot, Request, Response};
+use crate::metrics::ShardStats;
+use crate::shard::{Shard, ShardState};
+use crate::ServiceError;
+
+/// How long a waiter parks between attempts to steal the combiner role.
+/// Short, because the worst case — a request deposited just after the
+/// combiner's final drain — is only served when the waiter wakes and
+/// combines it itself.
+const WAIT_SLICE: Duration = Duration::from_micros(20);
+
+/// A tenant-scoped handle to one queue: a `Copy + Send + Sync` *token*
+/// (shard index, slot, generation), not a borrow — clients on any thread
+/// address their queue through the service, and a destroyed queue's handles
+/// go stale instead of dangling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId {
+    shard: u16,
+    slot: u32,
+    generation: u32,
+}
+
+impl QueueId {
+    pub(crate) fn new(shard: u16, slot: u32, generation: u32) -> Self {
+        QueueId {
+            shard,
+            slot,
+            generation,
+        }
+    }
+
+    /// The shard this queue lives on.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// Slot within the shard's queue table.
+    pub(crate) fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Generation guarding against slot reuse.
+    pub(crate) fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for QueueId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}.{}g{}", self.shard, self.slot, self.generation)
+    }
+}
+
+/// Configuration for a [`QueueService`].
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    shards: usize,
+    engine: Engine,
+    bulk_threshold: usize,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            shards: 4,
+            engine: Engine::Sequential,
+            bulk_threshold: 4,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Start from the defaults (4 shards, sequential planner, bulk builds
+    /// from 4 coalesced inserts up).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards (each an independent pool + lock). Clamped to ≥ 1.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Planning engine every shard pool uses.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Coalesced-insert count at which a batch switches from one-by-one
+    /// inserts to the parallel slab builder. Clamped to ≥ 2.
+    pub fn bulk_threshold(mut self, n: usize) -> Self {
+        self.bulk_threshold = n.max(2);
+        self
+    }
+
+    /// Build the service.
+    pub fn build(self) -> QueueService {
+        QueueService {
+            shards: (0..self.shards)
+                .map(|i| Shard::new(i as u16, self.engine, self.bulk_threshold))
+                .collect(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// An in-flight operation: the completion slot plus the shard whose
+/// combiner will (or whose next waiter will) execute it.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    slot: Arc<OpSlot>,
+    shard: Arc<Shard>,
+}
+
+impl Ticket {
+    /// Block until the result arrives. Waiters are not passive: each wait
+    /// slice they retry becoming the combiner themselves, so progress never
+    /// depends on any other thread surviving.
+    pub fn wait(self) -> Response {
+        loop {
+            if let Some(r) = self.slot.try_take() {
+                return r;
+            }
+            self.shard.try_combine();
+            if let Some(r) = self.slot.wait_for(WAIT_SLICE) {
+                return r;
+            }
+        }
+    }
+}
+
+/// A sharded, thread-safe, multi-tenant meldable priority-queue service.
+///
+/// Shard = one [`meldpq::HeapPool`] + flat-combining lock; queues are
+/// assigned to shards round-robin at creation. All methods take `&self` —
+/// share the service across client threads with an `Arc`.
+///
+/// ```
+/// use service::{Response, ServiceBuilder};
+///
+/// let svc = ServiceBuilder::new().shards(2).build();
+/// let q = svc.create_queue();
+/// svc.insert(q, 5).unwrap();
+/// svc.insert(q, 1).unwrap();
+/// assert_eq!(svc.extract_min(q).unwrap(), Some(1));
+/// assert_eq!(svc.len(q).unwrap(), 1);
+/// ```
+#[derive(Debug)]
+pub struct QueueService {
+    shards: Vec<Arc<Shard>>,
+    rr: AtomicUsize,
+}
+
+impl Default for QueueService {
+    fn default() -> Self {
+        ServiceBuilder::default().build()
+    }
+}
+
+impl QueueService {
+    /// A service with the default configuration ([`ServiceBuilder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: QueueId) -> Result<&Arc<Shard>, ServiceError> {
+        self.shards
+            .get(id.shard() as usize)
+            .ok_or(ServiceError::UnknownQueue(id))
+    }
+
+    /// `Make-Queue`: create an empty queue on the next shard (round-robin).
+    pub fn create_queue(&self) -> QueueId {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[i].create_queue()
+    }
+
+    /// Destroy a queue, freeing its nodes. Returns how many keys it held.
+    pub fn destroy_queue(&self, id: QueueId) -> Result<usize, ServiceError> {
+        let shard = self.shard(id)?;
+        let mut st = shard.lock_state();
+        let heap = st.take_queue(id)?;
+        Ok(st.pool.free_heap(heap))
+    }
+
+    // ----- async surface: deposit now, wait on the ticket later ---------
+
+    /// `Insert(Q, x)`, asynchronously.
+    pub fn insert_async(&self, id: QueueId, key: i64) -> Result<Ticket, ServiceError> {
+        self.submit(id, Request::Insert { queue: id, key })
+    }
+
+    /// `Multi-Insert(Q, keys)`, asynchronously.
+    pub fn multi_insert_async(&self, id: QueueId, keys: Vec<i64>) -> Result<Ticket, ServiceError> {
+        self.submit(id, Request::MultiInsert { queue: id, keys })
+    }
+
+    /// `Extract-Min(Q)`, asynchronously.
+    pub fn extract_min_async(&self, id: QueueId) -> Result<Ticket, ServiceError> {
+        self.submit(id, Request::ExtractMin { queue: id })
+    }
+
+    /// `Multi-Extract-Min(Q, k)`, asynchronously.
+    pub fn extract_k_async(&self, id: QueueId, k: usize) -> Result<Ticket, ServiceError> {
+        self.submit(id, Request::ExtractK { queue: id, k })
+    }
+
+    /// `Min(Q)`, asynchronously.
+    pub fn peek_min_async(&self, id: QueueId) -> Result<Ticket, ServiceError> {
+        self.submit(id, Request::PeekMin { queue: id })
+    }
+
+    /// Queue length, asynchronously.
+    pub fn len_async(&self, id: QueueId) -> Result<Ticket, ServiceError> {
+        self.submit(id, Request::Len { queue: id })
+    }
+
+    fn submit(&self, id: QueueId, req: Request) -> Result<Ticket, ServiceError> {
+        let shard = self.shard(id)?;
+        Ok(Ticket {
+            slot: shard.submit(req),
+            shard: Arc::clone(shard),
+        })
+    }
+
+    /// Deposit a raw request *without* serving it — the pipelined variant of
+    /// the `*_async` methods, i.e. the paper's Waiting buffer driven
+    /// explicitly. The request executes at the next combine on its shard: a
+    /// later synchronous op, a [`Ticket::wait`], or [`QueueService::flush`].
+    /// Depositing `k` inserts and then flushing hands the combiner all `k`
+    /// as one batch, which is the deterministic way to exercise (and test)
+    /// the coalesced bulk kernels.
+    pub fn enqueue(&self, req: Request) -> Result<Ticket, ServiceError> {
+        let id = req.queue();
+        let shard = self.shard(id)?;
+        Ok(Ticket {
+            slot: shard.enqueue(req),
+            shard: Arc::clone(shard),
+        })
+    }
+
+    // ----- sync surface -------------------------------------------------
+    //
+    // Each sync op first tries the shard's uncontended fast path (lock free
+    // → serve pending, execute inline, zero allocation); only under
+    // contention does it deposit a slot and wait — the case where the
+    // combiner's batching pays.
+
+    fn execute(&self, id: QueueId, req: Request) -> Result<Response, ServiceError> {
+        let shard = self.shard(id)?;
+        if let Some(resp) = shard.execute_now(&req) {
+            return Ok(resp);
+        }
+        let ticket = Ticket {
+            slot: shard.submit(req),
+            shard: Arc::clone(shard),
+        };
+        Ok(ticket.wait())
+    }
+
+    /// `Insert(Q, x)`.
+    pub fn insert(&self, id: QueueId, key: i64) -> Result<(), ServiceError> {
+        match self.execute(id, Request::Insert { queue: id, key })? {
+            Response::Done => Ok(()),
+            Response::Err(e) => Err(e),
+            other => unreachable!("insert answered {other:?}"),
+        }
+    }
+
+    /// `Multi-Insert(Q, keys)`.
+    pub fn multi_insert(&self, id: QueueId, keys: Vec<i64>) -> Result<(), ServiceError> {
+        match self.execute(id, Request::MultiInsert { queue: id, keys })? {
+            Response::Done => Ok(()),
+            Response::Err(e) => Err(e),
+            other => unreachable!("multi_insert answered {other:?}"),
+        }
+    }
+
+    /// `Extract-Min(Q)`: the minimum key, `None` when empty.
+    pub fn extract_min(&self, id: QueueId) -> Result<Option<i64>, ServiceError> {
+        match self.execute(id, Request::ExtractMin { queue: id })? {
+            Response::Key(k) => Ok(k),
+            Response::Err(e) => Err(e),
+            other => unreachable!("extract_min answered {other:?}"),
+        }
+    }
+
+    /// `Multi-Extract-Min(Q, k)`: up to `k` smallest keys, ascending.
+    pub fn extract_k(&self, id: QueueId, k: usize) -> Result<Vec<i64>, ServiceError> {
+        match self.execute(id, Request::ExtractK { queue: id, k })? {
+            Response::Keys(v) => Ok(v),
+            Response::Err(e) => Err(e),
+            other => unreachable!("extract_k answered {other:?}"),
+        }
+    }
+
+    /// `Min(Q)` without removal.
+    pub fn peek_min(&self, id: QueueId) -> Result<Option<i64>, ServiceError> {
+        match self.execute(id, Request::PeekMin { queue: id })? {
+            Response::Key(k) => Ok(k),
+            Response::Err(e) => Err(e),
+            other => unreachable!("peek_min answered {other:?}"),
+        }
+    }
+
+    /// Number of keys in the queue.
+    pub fn len(&self, id: QueueId) -> Result<usize, ServiceError> {
+        match self.execute(id, Request::Len { queue: id })? {
+            Response::Len(n) => Ok(n),
+            Response::Err(e) => Err(e),
+            other => unreachable!("len answered {other:?}"),
+        }
+    }
+
+    /// `Union(Q1, Q2)`: absorb `src` into `dst`, destroying `src` (its
+    /// handles go stale). Same-shard melds are zero-copy plan application;
+    /// cross-shard melds move nodes (counted on the arenas).
+    ///
+    /// Both shard locks are taken in shard-index order, so concurrent melds
+    /// cannot deadlock; pending batches on both shards are served first.
+    pub fn meld(&self, dst: QueueId, src: QueueId) -> Result<(), ServiceError> {
+        if dst == src {
+            return Ok(());
+        }
+        let dshard = Arc::clone(self.shard(dst)?);
+        let sshard = Arc::clone(self.shard(src)?);
+        if dst.shard() == src.shard() {
+            let mut st = dshard.lock_state();
+            // Look before taking: if dst is stale we must not destroy src.
+            if st.queue_mut(dst).is_none() {
+                st.stats.stale_ops += 1;
+                return Err(ServiceError::UnknownQueue(dst));
+            }
+            let src_heap = st.take_queue(src)?;
+            // Split borrows: pool, queue table and stats are disjoint fields.
+            let ShardState {
+                pool,
+                queues,
+                stats,
+                ..
+            } = &mut *st;
+            let q = queues[dst.slot() as usize].as_mut().expect("checked above");
+            pool.meld(&mut q.heap, src_heap);
+            stats.melds_same_shard += 1;
+            return Ok(());
+        }
+        // Cross-shard: lock in shard-index order.
+        let (first, second) = if dst.shard() < src.shard() {
+            (&dshard, &sshard)
+        } else {
+            (&sshard, &dshard)
+        };
+        let mut st_first = first.lock_state();
+        let mut st_second = second.lock_state();
+        let (dst_state, src_state) = if dst.shard() < src.shard() {
+            (&mut *st_first, &mut *st_second)
+        } else {
+            (&mut *st_second, &mut *st_first)
+        };
+        if dst_state.queue_mut(dst).is_none() {
+            dst_state.stats.stale_ops += 1;
+            return Err(ServiceError::UnknownQueue(dst));
+        }
+        let src_heap = src_state.take_queue(src)?;
+        let ShardState {
+            pool,
+            queues,
+            stats,
+            ..
+        } = dst_state;
+        let q = queues[dst.slot() as usize].as_mut().expect("checked above");
+        pool.meld_cross_pool(&mut q.heap, &mut src_state.pool, src_heap);
+        stats.melds_cross_shard += 1;
+        Ok(())
+    }
+
+    // ----- observability ------------------------------------------------
+
+    /// Serve every pending batch on every shard (quiesce point for tests
+    /// and shutdown).
+    pub fn flush(&self) {
+        for s in &self.shards {
+            let mut st = s.lock_state();
+            s.combine_locked(&mut st);
+        }
+    }
+
+    /// Snapshot one shard's batching counters.
+    pub fn shard_stats(&self, shard: usize) -> ShardStats {
+        self.shards[shard].lock_state().stats
+    }
+
+    /// Snapshot one shard's arena counters (`allocs`/`copies` — the
+    /// zero-copy proof surface).
+    pub fn arena_stats(&self, shard: usize) -> ArenaStats {
+        self.shards[shard].lock_state().pool.stats()
+    }
+
+    /// Record every shard's counters into an [`obs::Registry`] under
+    /// `service/shard<i>`.
+    pub fn record_into(&self, reg: &mut Registry) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let stats = s.lock_state().stats;
+            reg.record(&format!("service/shard{i}"), &stats);
+        }
+    }
+
+    /// Deep structural validation of every live queue on every shard.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.shards.iter().enumerate() {
+            let st = s.lock_state();
+            for q in st.queues.iter().flatten() {
+                st.pool
+                    .validate_heap(&q.heap)
+                    .map_err(|e| format!("shard {i}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_insert_extract_roundtrip() {
+        let svc = ServiceBuilder::new().shards(2).build();
+        let q = svc.create_queue();
+        svc.insert(q, 5).unwrap();
+        svc.multi_insert(q, vec![3, 9, 1]).unwrap();
+        assert_eq!(svc.peek_min(q).unwrap(), Some(1));
+        assert_eq!(svc.extract_min(q).unwrap(), Some(1));
+        assert_eq!(svc.extract_k(q, 2).unwrap(), vec![3, 5]);
+        assert_eq!(svc.len(q).unwrap(), 1);
+        svc.validate().unwrap();
+        assert_eq!(svc.destroy_queue(q).unwrap(), 1);
+        assert!(svc.insert(q, 0).is_err(), "destroyed handle is stale");
+    }
+
+    #[test]
+    fn round_robin_shard_assignment() {
+        let svc = ServiceBuilder::new().shards(3).build();
+        let shards: Vec<u16> = (0..6).map(|_| svc.create_queue().shard()).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn meld_same_shard_and_cross_shard() {
+        let svc = ServiceBuilder::new().shards(2).build();
+        let a = svc.create_queue(); // shard 0
+        let b = svc.create_queue(); // shard 1
+        let c = svc.create_queue(); // shard 0
+        svc.multi_insert(a, vec![1, 4]).unwrap();
+        svc.multi_insert(b, vec![2, 5]).unwrap();
+        svc.multi_insert(c, vec![3, 6]).unwrap();
+        svc.meld(a, c).unwrap(); // same shard, zero-copy
+        assert!(svc.len(c).is_err(), "melded-away queue is stale");
+        svc.meld(a, b).unwrap(); // cross shard, counted moves
+        assert_eq!(svc.extract_k(a, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        let s0 = svc.shard_stats(0);
+        assert_eq!(s0.melds_same_shard, 1);
+        assert_eq!(s0.melds_cross_shard, 1);
+        svc.validate().unwrap();
+    }
+
+    #[test]
+    fn meld_with_stale_dst_preserves_src() {
+        let svc = ServiceBuilder::new().shards(1).build();
+        let a = svc.create_queue();
+        let b = svc.create_queue();
+        svc.insert(b, 7).unwrap();
+        svc.destroy_queue(a).unwrap();
+        assert!(svc.meld(a, b).is_err());
+        assert_eq!(svc.len(b).unwrap(), 1, "src survives a failed meld");
+    }
+
+    #[test]
+    fn self_meld_is_a_noop() {
+        let svc = QueueService::new();
+        let q = svc.create_queue();
+        svc.insert(q, 1).unwrap();
+        svc.meld(q, q).unwrap();
+        assert_eq!(svc.len(q).unwrap(), 1);
+    }
+
+    #[test]
+    fn tickets_resolve_out_of_order() {
+        let svc = ServiceBuilder::new().shards(1).build();
+        let q = svc.create_queue();
+        let t1 = svc.insert_async(q, 4).unwrap();
+        let t2 = svc.insert_async(q, 2).unwrap();
+        let t3 = svc.extract_min_async(q).unwrap();
+        assert_eq!(t3.wait(), Response::Key(Some(2)));
+        assert_eq!(t1.wait(), Response::Done);
+        assert_eq!(t2.wait(), Response::Done);
+    }
+
+    #[test]
+    fn registry_and_arena_snapshots() {
+        let svc = ServiceBuilder::new().shards(1).bulk_threshold(2).build();
+        let q = svc.create_queue();
+        svc.multi_insert(q, (0..64).collect()).unwrap();
+        let mut reg = Registry::new();
+        svc.record_into(&mut reg);
+        assert_eq!(reg.records().len(), 1);
+        assert_eq!(reg.records()[0].family, "service.shard");
+        let arena = svc.arena_stats(0);
+        assert_eq!(arena.allocs, 64);
+        assert_eq!(arena.copies, 0, "bulk insert path must be zero-copy");
+    }
+}

@@ -3,13 +3,16 @@
 //!
 //! Two fleets:
 //!
-//! * [`all_engines_agree_on_mixed_programs`] drives the five meldable-queue
-//!   engines — `ParBinomialHeap` under the sequential oracle engine, under
-//!   rayon, and under the measured EREW PRAM planner, `LazyBinomialHeap`,
-//!   and `dmpq::DistributedPq` — against a sorted-vector oracle over mixed
-//!   insert / meld / extract-min / min programs. Keys are drawn from a
-//!   narrow band (`-64..64`) so duplicate keys are common and tie-breaking
-//!   divergence cannot hide.
+//! * [`all_engines_agree_on_mixed_programs`] drives every engine through the
+//!   unified [`MeldablePq`] trait — `ParBinomialHeap` under the sequential
+//!   and rayon planners, the measured EREW PRAM wrapper (`PramMeasured`),
+//!   `LazyBinomialHeap`, `dmpq::DistributedPq` (behind a fault-free local
+//!   adapter), the pooled zero-copy representation (`PoolGuard`) and a
+//!   seqheaps baseline — against a sorted-vector oracle over mixed insert /
+//!   meld / extract-min / min programs. The fleet is a
+//!   `Vec<Box<dyn CheckedMeldable>>`: one generic dispatch loop, zero
+//!   per-engine match arms. Keys are drawn from a narrow band (`-64..64`)
+//!   so duplicate keys are common and tie-breaking divergence cannot hide.
 //! * [`lazy_delete_programs_match_multiset_oracle`] adds `Delete` and
 //!   `Change-Key` (which only the lazy structure supports) and checks the
 //!   lazy heap against a multiset oracle. Handles may be invalidated by
@@ -26,8 +29,11 @@
 use dmpq::DistributedPq;
 use meldpq::check::check_pool;
 use meldpq::lazy::LazyBinomialHeap;
-use meldpq::{CheckedPq, Engine, HeapPool, NodeId, ParBinomialHeap};
+use meldpq::{
+    CheckedPq, Engine, HeapPool, MeldablePq, NodeId, ParBinomialHeap, PoolGuard, PramMeasured,
+};
 use proptest::prelude::*;
+use seqheaps::MeldableHeap;
 
 /// One step of a differential program.
 #[derive(Debug, Clone)]
@@ -137,86 +143,115 @@ impl Oracle {
     }
 }
 
-/// The five engines driven in lockstep by the mixed-program fleet.
-struct Fleet {
-    seq: ParBinomialHeap,
-    ray: ParBinomialHeap,
-    pram: ParBinomialHeap,
-    lazy: LazyBinomialHeap,
-    dist: DistributedPq,
-    oracle: Oracle,
-    p: usize,
-    q: usize,
+/// The fleet's common denominator: a [`MeldablePq`] that can also re-verify
+/// its structural invariants mid-program. Object safe, so the fleet is a
+/// plain `Vec<Box<dyn CheckedMeldable>>` and the op-dispatch loop is written
+/// exactly once for every engine.
+trait CheckedMeldable: MeldablePq<i64> {
+    fn check(&self) -> Result<(), String>;
 }
 
-impl Fleet {
-    fn new(p: usize, q: usize, b: usize) -> Self {
-        Fleet {
-            seq: ParBinomialHeap::new(),
-            ray: ParBinomialHeap::new(),
-            pram: ParBinomialHeap::new(),
-            lazy: LazyBinomialHeap::new(p),
-            dist: DistributedPq::new(q, b),
-            oracle: Oracle::default(),
-            p,
+impl CheckedMeldable for ParBinomialHeap {
+    fn check(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+impl CheckedMeldable for PramMeasured {
+    fn check(&self) -> Result<(), String> {
+        self.heap().check_invariants()
+    }
+}
+
+impl CheckedMeldable for LazyBinomialHeap {
+    fn check(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+impl CheckedMeldable for PoolGuard<i64> {
+    fn check(&self) -> Result<(), String> {
+        self.validate()
+    }
+}
+
+impl CheckedMeldable for seqheaps::BinomialHeap<i64> {
+    // The sequential baseline predates the workspace's invariant checkers;
+    // drain equality at program end is its correctness witness.
+    fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// `DistributedPq` behind the trait. The orphan rule forbids implementing
+/// the workspace trait for the dmpq type from this test crate, and the
+/// distributed API is fallible (message faults), so this local newtype
+/// adapts it: every op runs on a fault-free net and unwraps.
+struct FaultFree {
+    pq: DistributedPq,
+    q: usize,
+    b: usize,
+}
+
+impl FaultFree {
+    fn new(q: usize, b: usize) -> Self {
+        FaultFree {
+            pq: DistributedPq::new(q, b),
             q,
+            b,
         }
     }
+}
 
-    fn insert(&mut self, k: i64) {
-        self.seq
-            .meld(ParBinomialHeap::from_keys([k]), Engine::Sequential);
-        self.ray
-            .meld(ParBinomialHeap::from_keys([k]), Engine::Rayon);
-        self.pram.insert_measured(k, self.p);
-        self.lazy.insert(k);
-        self.dist.insert(k).expect("fault-free net");
-        self.oracle.insert(k);
+impl MeldablePq<i64> for FaultFree {
+    fn len(&self) -> usize {
+        self.pq.len()
     }
-
-    fn meld_keys(&mut self, keys: &[i64]) {
-        self.seq.meld(
-            ParBinomialHeap::from_keys(keys.iter().copied()),
-            Engine::Sequential,
-        );
-        self.ray.meld(
-            ParBinomialHeap::from_keys(keys.iter().copied()),
-            Engine::Rayon,
-        );
-        self.pram
-            .meld_measured(ParBinomialHeap::from_keys(keys.iter().copied()), self.p);
-        self.lazy.meld(LazyBinomialHeap::from_keys_fast(
-            self.p,
-            keys.iter().copied(),
-        ));
-        let mut incoming = DistributedPq::new(self.q, self.dist.b);
+    fn insert(&mut self, key: i64) {
+        self.pq.insert(key).expect("fault-free net");
+    }
+    fn peek_min(&mut self) -> Option<i64> {
+        self.pq.min()
+    }
+    fn extract_min(&mut self) -> Option<i64> {
+        self.pq.extract_min().expect("fault-free net")
+    }
+    fn meld(&mut self, other: Self) {
+        self.pq.meld(other.pq).expect("fault-free net");
+    }
+    fn meld_from_keys(&mut self, keys: &[i64]) {
+        let mut incoming = DistributedPq::new(self.q, self.b);
         for &k in keys {
             incoming.insert(k).expect("fault-free net");
         }
-        self.dist.meld(incoming).expect("fault-free net");
-        for &k in keys {
-            self.oracle.insert(k);
-        }
+        self.pq.meld(incoming).expect("fault-free net");
     }
+}
 
-    fn check_all(&self) -> Result<(), String> {
-        self.seq
-            .check_invariants()
-            .map_err(|e| format!("seq: {e}"))?;
-        self.ray
-            .check_invariants()
-            .map_err(|e| format!("rayon: {e}"))?;
-        self.pram
-            .check_invariants()
-            .map_err(|e| format!("pram: {e}"))?;
-        self.lazy
-            .check_invariants()
-            .map_err(|e| format!("lazy: {e}"))?;
-        self.dist
-            .check_invariants()
-            .map_err(|e| format!("dist: {e}"))?;
-        Ok(())
+impl CheckedMeldable for FaultFree {
+    fn check(&self) -> Result<(), String> {
+        self.pq.check_invariants()
     }
+}
+
+/// Every engine in the workspace, one trait object each. Adding an engine
+/// to the fuzzer is now one line here — the op loop never changes.
+fn fleet(p: usize) -> Vec<(&'static str, Box<dyn CheckedMeldable>)> {
+    vec![
+        ("seq", Box::new(ParBinomialHeap::new())),
+        (
+            "rayon",
+            Box::new(ParBinomialHeap::new().with_engine(Engine::Rayon)),
+        ),
+        ("pram", Box::new(PramMeasured::new(p))),
+        ("lazy", Box::new(LazyBinomialHeap::new(p))),
+        ("dist", Box::new(FaultFree::new(2, 4))),
+        ("pool", Box::new(PoolGuard::new())),
+        (
+            "seq-binomial",
+            Box::new(seqheaps::BinomialHeap::<i64>::new()),
+        ),
+    ]
 }
 
 proptest! {
@@ -227,51 +262,58 @@ proptest! {
         ops in proptest::collection::vec(mixed_op_strategy(), 0..40),
         p in 1usize..5,
     ) {
-        let mut fleet = Fleet::new(p, 2, 4);
+        let mut engines = fleet(p);
+        let mut oracle = Oracle::default();
         for (step, op) in ops.iter().enumerate() {
             match op {
-                Op::Insert(k) => fleet.insert(*k),
+                Op::Insert(k) => {
+                    oracle.insert(*k);
+                    for (_, q) in engines.iter_mut() {
+                        q.insert(*k);
+                    }
+                }
                 Op::ExtractMin => {
-                    let want = fleet.oracle.extract_min();
-                    let seq = fleet.seq.extract_min(Engine::Sequential);
-                    let ray = fleet.ray.extract_min(Engine::Rayon);
-                    let pram = fleet.pram.extract_min_measured(p).0;
-                    let lazy = fleet.lazy.extract_min();
-                    let dist = fleet.dist.extract_min().expect("fault-free net");
-                    prop_assert_eq!(seq, want, "seq extract at step {}", step);
-                    prop_assert_eq!(ray, want, "rayon extract at step {}", step);
-                    prop_assert_eq!(pram, want, "pram extract at step {}", step);
-                    prop_assert_eq!(lazy, want, "lazy extract at step {}", step);
-                    prop_assert_eq!(dist, want, "dist extract at step {}", step);
+                    let want = oracle.extract_min();
+                    for (name, q) in engines.iter_mut() {
+                        prop_assert_eq!(q.extract_min(), want, "{} extract at step {}", name, step);
+                    }
                 }
                 Op::Min => {
-                    let want = fleet.oracle.min();
-                    prop_assert_eq!(fleet.seq.min(), want, "seq min at step {}", step);
-                    prop_assert_eq!(fleet.ray.min(), want, "rayon min at step {}", step);
-                    prop_assert_eq!(fleet.pram.min(), want, "pram min at step {}", step);
-                    prop_assert_eq!(fleet.lazy.min(), want, "lazy min at step {}", step);
-                    prop_assert_eq!(fleet.dist.min(), want, "dist min at step {}", step);
+                    let want = oracle.min();
+                    for (name, q) in engines.iter_mut() {
+                        prop_assert_eq!(q.peek_min(), want, "{} min at step {}", name, step);
+                    }
                 }
-                Op::Meld(keys) => fleet.meld_keys(keys),
+                Op::Meld(keys) => {
+                    for &k in keys {
+                        oracle.insert(k);
+                    }
+                    for (_, q) in engines.iter_mut() {
+                        q.meld_from_keys(keys);
+                    }
+                }
                 // Mixed fleet runs no handle ops.
                 Op::Delete(_) | Op::ChangeKey(_, _) => unreachable!(),
             }
             if step % 8 == 7 {
-                if let Err(e) = fleet.check_all() {
-                    panic!("invariants broken after step {step}: {e}");
+                for (name, q) in engines.iter() {
+                    if let Err(e) = q.check() {
+                        panic!("{name} invariants broken after step {step}: {e}");
+                    }
                 }
             }
         }
-        if let Err(e) = fleet.check_all() {
-            panic!("invariants broken after final step: {e}");
+        for (name, q) in engines.iter() {
+            if let Err(e) = q.check() {
+                panic!("{name} invariants broken after final step: {e}");
+            }
         }
         // Drain everything; all engines must produce the oracle's sequence.
-        let want = fleet.oracle.keys.clone();
-        prop_assert_eq!(fleet.seq.into_sorted_vec(), want.clone(), "seq drain");
-        prop_assert_eq!(fleet.ray.into_sorted_vec(), want.clone(), "rayon drain");
-        prop_assert_eq!(fleet.pram.into_sorted_vec(), want.clone(), "pram drain");
-        prop_assert_eq!(fleet.lazy.into_sorted_vec(), want.clone(), "lazy drain");
-        prop_assert_eq!(fleet.dist.into_sorted_vec().expect("fault-free net"), want, "dist drain");
+        let want = oracle.keys;
+        for (name, q) in engines.iter_mut() {
+            prop_assert_eq!(&q.drain_sorted(), &want, "{} drain", name);
+            prop_assert_eq!(q.len(), 0, "{} empty after drain", name);
+        }
     }
 
     #[test]
@@ -372,7 +414,7 @@ proptest! {
                     lazy_oracle.insert(*k);
                 }
                 PoolOp::ExtractMin => {
-                    let got = pool.extract_min(&mut main, engine);
+                    let got = pool.extract_min_with(&mut main, engine);
                     prop_assert_eq!(got, pool_oracle.extract_min(), "pool extract at step {}", step);
                     prop_assert_eq!(lazy.extract_min(), lazy_oracle.extract_min(),
                         "lazy extract at step {}", step);
@@ -384,7 +426,7 @@ proptest! {
                 PoolOp::Meld(keys) => {
                     let part = pool.from_keys(keys.iter().copied());
                     let before = pool.stats();
-                    pool.meld(&mut main, part, engine);
+                    pool.meld_with(&mut main, part, engine);
                     prop_assert_eq!(before, pool.stats(),
                         "same-pool meld allocated or copied at step {}", step);
                     for &k in keys { pool_oracle.insert(k); }
@@ -394,7 +436,7 @@ proptest! {
                 PoolOp::CrossMeld(keys) => {
                     let mut other: HeapPool<i64> = HeapPool::new();
                     let h = other.from_keys(keys.iter().copied());
-                    pool.meld_cross_pool(&mut main, &mut other, h, engine);
+                    pool.meld_cross_pool_with(&mut main, &mut other, h, engine);
                     prop_assert_eq!(other.live_nodes(), 0, "source pool drained at step {}", step);
                     for &k in keys { pool_oracle.insert(k); }
                 }

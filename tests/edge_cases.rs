@@ -85,10 +85,10 @@ fn meld_with_empty_heap_both_directions_all_engines() {
     }
     // Measured PRAM meld with an empty operand.
     let mut h = ParBinomialHeap::from_keys([5, 4]);
-    h.meld_measured(ParBinomialHeap::new(), 2);
+    h.meld_pram(ParBinomialHeap::new(), 2);
     h.check_invariants().unwrap();
     let mut e = ParBinomialHeap::new();
-    e.meld_measured(ParBinomialHeap::from_keys([5, 4]), 2);
+    e.meld_pram(ParBinomialHeap::from_keys([5, 4]), 2);
     e.check_invariants().unwrap();
     assert_eq!(e.into_sorted_vec(), vec![4, 5]);
 }
@@ -98,7 +98,7 @@ fn extract_from_empty_heaps_returns_none() {
     let mut h = ParBinomialHeap::new();
     assert_eq!(h.extract_min(Engine::Sequential), None);
     assert_eq!(h.extract_min(Engine::Rayon), None);
-    assert_eq!(h.extract_min_measured(2).0, None);
+    assert_eq!(h.extract_min_pram(2), None);
     let mut l = LazyBinomialHeap::new(2);
     assert_eq!(l.extract_min(), None);
     assert_eq!(l.min(), None);

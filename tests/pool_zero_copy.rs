@@ -30,7 +30,7 @@ fn same_pool_meld_counts_zero_copies_and_allocs() {
         } else {
             Engine::Rayon
         };
-        pool.meld(&mut acc, part, engine);
+        pool.meld_with(&mut acc, part, engine);
         assert_eq!(acc.len(), total);
     }
     let after = pool.stats();
@@ -55,7 +55,7 @@ fn pooled_meld_matches_absorb_meld_semantics() {
     for s in 0..4 {
         let ks = keys(90 + 13 * s, s as i64);
         let part = pool.from_keys(ks.iter().copied());
-        pool.meld(&mut p_acc, part, Engine::Sequential);
+        pool.meld_with(&mut p_acc, part, Engine::Sequential);
         h_acc.meld(ParBinomialHeap::from_keys(ks), Engine::Sequential);
     }
     assert_eq!(p_acc.len(), h_acc.len());
@@ -76,13 +76,13 @@ fn extract_min_interleaved_with_zero_copy_melds() {
     let mut reference = keys(200, 3);
     for round in 0..5 {
         for _ in 0..20 {
-            let got = pool.extract_min(&mut h, Engine::Sequential);
+            let got = pool.extract_min_with(&mut h, Engine::Sequential);
             reference.sort_unstable();
             assert_eq!(got, Some(reference.remove(0)));
         }
         let extra = keys(30, 100 + round);
         let part = pool.from_keys(extra.iter().copied());
-        pool.meld(&mut h, part, Engine::Rayon);
+        pool.meld_with(&mut h, part, Engine::Rayon);
         reference.extend(extra);
         pool.validate_heap(&h).unwrap();
     }
@@ -94,7 +94,7 @@ fn extract_min_interleaved_with_zero_copy_melds() {
 fn parallel_pool_build_is_pure_allocation() {
     let ks = keys(60_000, 9);
     let mut pool: HeapPool<i64> = HeapPool::with_capacity(ks.len());
-    let h = pool.from_keys_parallel(&ks, Engine::Sequential);
+    let h = pool.from_keys_parallel_with(&ks, Engine::Sequential);
     assert_eq!(pool.stats().allocs, ks.len() as u64);
     assert_eq!(pool.stats().copies, 0);
     check_pool(&pool, &[&h]).unwrap();
@@ -132,7 +132,7 @@ fn multiple_heaps_share_one_pool_without_aliasing() {
     check_pool(&pool, &refs).unwrap();
     // Clone one, mutate the original: still no aliasing anywhere.
     let mut a = pool.clone_heap(&heaps[0]);
-    pool.extract_min(&mut a, Engine::Sequential);
+    pool.extract_min_with(&mut a, Engine::Sequential);
     let mut refs: Vec<&meldpq::PooledHeap> = heaps.iter().collect();
     refs.push(&a);
     check_pool(&pool, &refs).unwrap();
