@@ -13,8 +13,13 @@
 //! Every operation is timed into an [`obs::LatencyHistogram`]; per-target
 //! p50/p95/p99/max plus throughput land in `reports/SERVICE_load.json`, and
 //! a summary object is spliced into `reports/BENCH_wallclock.json` under
-//! `"service_load"`. The run **gates**: if the service does not beat the
-//! global-lock baseline on throughput, the process exits non-zero.
+//! `"service_load"`. The run **gates** twice: the service must beat the
+//! global-lock baseline on throughput, and its p99 latency may exceed the
+//! baseline's p99 by at most [`P99_BOUND`]× (override with
+//! `SERVICE_P99_BOUND`) — flat combining trades tail latency for
+//! throughput, and this bound is where "trade" becomes "regression".
+//! Both targets run [`TRIALS`] times and each gate is judged on its best
+//! trial (see [`TRIALS`] for why); either miss exits non-zero.
 //!
 //! Flags: `--threads N` (8) · `--ops N` (65536 total) · `--queues N` (8) ·
 //! `--shards N` (4) · `--quick` (8192 ops — the CI smoke configuration).
@@ -28,6 +33,23 @@ use meldpq::{Engine, MeldablePq, ParBinomialHeap};
 use obs::LatencyHistogram;
 use rand::Rng;
 use service::{QueueId, QueueService, ServiceBuilder};
+
+/// Default ceiling on `service_p99 / mutex_p99`. The combining queue parks
+/// ops behind a shard lock, so its tail is structurally worse than the
+/// uncontended-mutex fast path (~11× at the seed measurement); 16× leaves
+/// headroom for scheduler noise while still catching a real tail collapse
+/// (the pre-gate suite let an 11× tail land silently with no bound at all).
+const P99_BOUND: f64 = 16.0;
+
+/// Trials per target; each gate is judged on its best trial (max throughput
+/// ratio, min p99 ratio). On an oversubscribed host a single scheduler
+/// preemption inside a combining flush inflates that one trial's p99 by a
+/// full timeslice (tens of µs against a µs-scale baseline — observed 0.8× /
+/// 5× / 48× across back-to-back identical runs on one core). A real tail
+/// regression shifts *every* trial, so best-of-N keeps [`P99_BOUND`]
+/// meaningful without widening it past the point of catching anything.
+/// Override with `SERVICE_TRIALS`.
+const TRIALS: usize = 3;
 
 /// One pre-generated client operation (queue chosen by index).
 #[derive(Debug, Clone, Copy)]
@@ -224,10 +246,44 @@ fn main() {
     );
     let streams = gen_streams(args.threads, per_thread, args.queues);
 
-    let (svc_secs, svc_hist, svc) = run_service(&args, &streams);
-    let svc_tput = total as f64 / svc_secs;
-    let (mtx_secs, mtx_hist) = run_mutex(&streams);
-    let mtx_tput = total as f64 / mtx_secs;
+    let trials = std::env::var("SERVICE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|t| *t > 0)
+        .unwrap_or(TRIALS);
+    let mut runs = Vec::with_capacity(trials);
+    let mut svc = None;
+    for t in 0..trials {
+        let (svc_secs, svc_hist, s) = run_service(&args, &streams);
+        let (mtx_secs, mtx_hist) = run_mutex(&streams);
+        svc = Some(s);
+        let (svc_tput, mtx_tput) = (total as f64 / svc_secs, total as f64 / mtx_secs);
+        println!(
+            "trial {}/{trials}: service {:.0} ops/s p99 {} ns | mutex {:.0} ops/s p99 {} ns",
+            t + 1,
+            svc_tput,
+            svc_hist.quantile(0.99),
+            mtx_tput,
+            mtx_hist.quantile(0.99)
+        );
+        runs.push((svc_tput, svc_hist, mtx_tput, mtx_hist));
+    }
+    let svc = svc.expect("at least one trial");
+    // Best trial per metric: a regression shifts all trials, noise only one.
+    let best_tput = runs
+        .iter()
+        .max_by(|a, b| (a.0 / a.2).total_cmp(&(b.0 / b.2)))
+        .expect("trials > 0");
+    let best_tail = runs
+        .iter()
+        .min_by(|a, b| {
+            let ra = a.1.quantile(0.99) as f64 / (a.3.quantile(0.99) as f64).max(1.0);
+            let rb = b.1.quantile(0.99) as f64 / (b.3.quantile(0.99) as f64).max(1.0);
+            ra.total_cmp(&rb)
+        })
+        .expect("trials > 0");
+    let (svc_tput, mtx_tput) = (best_tput.0, best_tput.2);
+    let (svc_hist, mtx_hist) = (&best_tail.1, &best_tail.3);
 
     // Batching evidence: summed shard counters from the service run.
     let mut batches = 0u64;
@@ -244,16 +300,44 @@ fn main() {
         multi_extracts += st.multi_extracts;
     }
 
+    let tput_ratios: Vec<J> = runs.iter().map(|r| J::Num(r.0 / r.2)).collect();
+    let p99_ratios: Vec<J> = runs
+        .iter()
+        .map(|r| J::Num(r.1.quantile(0.99) as f64 / (r.3.quantile(0.99) as f64).max(1.0)))
+        .collect();
+
     let ratio = svc_tput / mtx_tput;
-    let pass = ratio > 1.0;
+    let tput_pass = ratio > 1.0;
     let gate = J::obj([
         ("name", J::Str("service_beats_global_lock".into())),
         ("service_ops_per_s", J::Num(svc_tput)),
         ("mutex_ops_per_s", J::Num(mtx_tput)),
         ("ratio", J::Num(ratio)),
+        ("trial_ratios", J::Arr(tput_ratios)),
         ("threshold", J::Num(1.0)),
-        ("pass", J::Bool(pass)),
+        ("pass", J::Bool(tput_pass)),
     ]);
+
+    // The tail gate: p99 of the service relative to the baseline's p99,
+    // bounded so a tail collapse cannot ride in under a throughput win.
+    let p99_bound = std::env::var("SERVICE_P99_BOUND")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .unwrap_or(P99_BOUND);
+    let (svc_p99, mtx_p99) = (svc_hist.quantile(0.99), mtx_hist.quantile(0.99));
+    let p99_ratio = svc_p99 as f64 / (mtx_p99 as f64).max(1.0);
+    let p99_pass = p99_ratio <= p99_bound;
+    let p99_gate = J::obj([
+        ("name", J::Str("service_p99_tail_bound".into())),
+        ("service_p99_ns", J::UInt(svc_p99)),
+        ("mutex_p99_ns", J::UInt(mtx_p99)),
+        ("ratio", J::Num(p99_ratio)),
+        ("trial_ratios", J::Arr(p99_ratios)),
+        ("threshold", J::Num(p99_bound)),
+        ("pass", J::Bool(p99_pass)),
+    ]);
+    let pass = tput_pass && p99_pass;
     let doc = J::obj([
         ("report", J::Str("service_load".into())),
         (
@@ -268,10 +352,11 @@ fn main() {
         ),
         ("threads", J::UInt(args.threads as u64)),
         ("ops", J::UInt(total as u64)),
+        ("trials", J::UInt(trials as u64)),
         ("queues", J::UInt(args.queues as u64)),
         ("shards", J::UInt(args.shards as u64)),
-        ("service", latency_json(&svc_hist, svc_tput)),
-        ("mutex_baseline", latency_json(&mtx_hist, mtx_tput)),
+        ("service", latency_json(svc_hist, svc_tput)),
+        ("mutex_baseline", latency_json(mtx_hist, mtx_tput)),
         (
             "batching",
             J::obj([
@@ -283,6 +368,7 @@ fn main() {
             ]),
         ),
         ("gate", gate),
+        ("p99_gate", p99_gate),
     ]);
 
     let reports = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../reports");
@@ -295,8 +381,10 @@ fn main() {
         ("service_ops_per_s", J::Num(svc_tput)),
         ("mutex_ops_per_s", J::Num(mtx_tput)),
         ("ratio", J::Num(ratio)),
-        ("service_p99_ns", J::UInt(svc_hist.quantile(0.99))),
-        ("mutex_p99_ns", J::UInt(mtx_hist.quantile(0.99))),
+        ("service_p99_ns", J::UInt(svc_p99)),
+        ("mutex_p99_ns", J::UInt(mtx_p99)),
+        ("p99_ratio", J::Num(p99_ratio)),
+        ("p99_bound", J::Num(p99_bound)),
         ("pass", J::Bool(pass)),
     ]);
     splice_into_wallclock(&reports.join("BENCH_wallclock.json"), &summary);
@@ -311,8 +399,16 @@ fn main() {
         mtx_hist.quantile(0.99),
         ratio
     );
-    if !pass {
+    println!(
+        "p99 tail: {p99_ratio:.1}x the baseline (bound {p99_bound:.1}x, best of {trials} trials)"
+    );
+    if !tput_pass {
         eprintln!("FAIL: sharded service did not beat the global-lock baseline");
+    }
+    if !p99_pass {
+        eprintln!("FAIL: service p99 exceeded {p99_bound:.1}x the global-lock baseline p99");
+    }
+    if !pass {
         std::process::exit(1);
     }
 }

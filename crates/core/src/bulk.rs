@@ -21,9 +21,6 @@ use crate::arena::{Arena, NodeId};
 use crate::heap::{Engine, ParBinomialHeap};
 use crate::pool::HeapPool;
 
-/// Sub-heaps below this size are built sequentially.
-const SEQ_THRESHOLD: usize = 8 * 1024;
-
 impl ParBinomialHeap<i64> {
     /// `Multi-Insert` planned on the PRAM simulator: the batch is built by
     /// the PRAM `Make-Queue` and melded by the PRAM Union; both costs land on
@@ -63,9 +60,25 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     }
 
     /// [`Self::from_keys_parallel`] with an explicit planning engine for the
-    /// unions up the build tree.
+    /// unions up the build tree. Batches below the calibrated admission
+    /// cutoff ([`crate::cutoff::batch_bulk_cutoff`]) ripple-insert instead —
+    /// the slab staging cost dominates at tiny sizes.
     pub fn from_keys_parallel_with(keys: &[K], engine: Engine) -> ParBinomialHeap<K> {
-        if keys.len() <= SEQ_THRESHOLD {
+        Self::from_keys_parallel_at(keys, engine, crate::cutoff::batch_bulk_cutoff())
+    }
+
+    /// [`Self::from_keys_parallel_with`] with an explicit admission cutoff
+    /// instead of the calibrated one. Differential tests pin the cutoff to
+    /// exercise both sides of the threshold in one deterministic program
+    /// (the calibrated value is host-dependent and `OnceLock`-cached, so it
+    /// cannot be varied within a process).
+    #[doc(hidden)]
+    pub fn from_keys_parallel_at(
+        keys: &[K],
+        engine: Engine,
+        admission: usize,
+    ) -> ParBinomialHeap<K> {
+        if keys.len() < admission {
             return ParBinomialHeap::from_keys(keys.iter().copied());
         }
         let mut pool = HeapPool::with_capacity(keys.len());
@@ -83,10 +96,17 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     /// [`Self::multi_insert`] with an explicit planning engine for both the
     /// build-tree unions and the final meld.
     pub fn multi_insert_with(&mut self, keys: &[K], engine: Engine) {
+        self.multi_insert_at(keys, engine, crate::cutoff::batch_bulk_cutoff());
+    }
+
+    /// [`Self::multi_insert_with`] with an explicit admission cutoff; see
+    /// [`Self::from_keys_parallel_at`].
+    #[doc(hidden)]
+    pub fn multi_insert_at(&mut self, keys: &[K], engine: Engine, admission: usize) {
         if keys.is_empty() {
             return;
         }
-        let batch = ParBinomialHeap::from_keys_parallel_with(keys, engine);
+        let batch = ParBinomialHeap::from_keys_parallel_at(keys, engine, admission);
         self.meld(batch, engine);
     }
 

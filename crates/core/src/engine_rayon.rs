@@ -1,124 +1,110 @@
 //! The rayon engine: real-thread execution of Phases I–III.
 //!
-//! Produces bit-identical [`UnionPlan`]s to the sequential oracle; the
-//! parallel structure mirrors the PRAM algorithm (maps + prefix scans + an
-//! independent per-position link round). Note the honesty caveat from
-//! DESIGN.md §5: a single union only has `O(log n)` positions, so rayon's
-//! scan falls back to its sequential path below its chunk threshold — the
-//! engine exists to execute *bulk* workloads (many unions, multi-inserts)
-//! with real parallelism, and to demonstrate the algorithm's data-parallel
-//! shape on real threads.
+//! Produces bit-identical [`UnionPlan`]s to the sequential oracle. Two
+//! schedules live here:
+//!
+//! * **Sequential fall-through** — a single union only has `O(log n)`
+//!   positions, far below thread-dispatch granularity, so widths below the
+//!   calibrated cutoff ([`crate::cutoff::plan_par_cutoff`]) route straight to
+//!   [`build_plan_into`]. On ordinary unions the rayon engine therefore costs
+//!   exactly what the sequential engine costs — this is the fix for the
+//!   `mixed/rayon` wall-clock regression, where every log-sized union used to
+//!   pay ~10 `par_iter().collect()` passes and a dozen fresh `Vec`s.
+//! * **Fused chunked sweeps** — at or above the cutoff (or under the test
+//!   hook), the plan is built in **three** fused chunk-parallel sweeps
+//!   instead of ten independent maps: (1) presence/generate/propagate bits
+//!   plus per-chunk carry-status summaries, (2) carries / sum bits / classes
+//!   / segment limits / position winners plus per-chunk segment summaries,
+//!   (3) dominant roots plus the link and new-root decisions. Between sweeps
+//!   the chunk summaries are stitched sequentially (`O(width / chunk)` work)
+//!   — the same two-level scan shape as `parscan::par`, applied to the
+//!   carry-lookahead monoid and the segmented-minimum monoid respectively.
+//!
+//! The buffer-reuse contract: [`build_plan_rayon_into`] clears and refills
+//! every vector of the caller's plan in place (same contract as
+//! [`build_plan_into`]), so pool-owned scratch plans amortize to zero
+//! allocation per meld regardless of engine. The fused path obeys it by
+//! destructuring the plan into disjoint field borrows: each sweep splits the
+//! fields it *writes* into per-chunk `&mut` slices and reads the fields
+//! earlier sweeps produced through plain shared slices — no intermediate
+//! collects, no clones.
 
 use rayon::prelude::*;
 
+use crate::arena::NodeId;
 use crate::plan::{
-    classify_point, link_decision, new_root_decision, position_winner, seg_combine, PointType,
-    RootRef, UnionPlan,
+    build_plan_into, classify_point, link_decision, new_root_decision, position_winner,
+    seg_combine, LinkOp, PointType, RootRef, UnionPlan,
 };
 
-/// Build the union plan with rayon primitives.
+/// Positions per chunk for the fused parallel path. Plan widths are bounded
+/// by the word size (≤ 64), so this bounds the chunk count at 4 — enough to
+/// exercise every boundary case (carry chains, segments and root decisions
+/// crossing chunk edges) while keeping the sequential stitch trivial.
+pub const FUSED_CHUNK: usize = 16;
+
+/// Build the union plan with rayon primitives (allocating entry point).
 pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
     h1: &[Option<RootRef<K>>],
     h2: &[Option<RootRef<K>>],
 ) -> UnionPlan<K> {
-    let width = h1.len().max(h2.len());
-    let at = |v: &[Option<RootRef<K>>], i: usize| v.get(i).copied().flatten();
+    let mut plan = UnionPlan::default();
+    build_plan_rayon_into(&mut plan, h1, h2);
+    plan
+}
+
+/// Build the union plan into reused buffers, choosing the schedule by the
+/// calibrated width cutoff: sequential fall-through below it, fused chunked
+/// sweeps at or above it. Produces exactly what
+/// [`crate::plan::build_plan_seq`] produces, always.
+pub fn build_plan_rayon_into<K: Ord + Copy + Send + Sync>(
+    plan: &mut UnionPlan<K>,
+    h1: &[Option<RootRef<K>>],
+    h2: &[Option<RootRef<K>>],
+) {
     let _sp = obs::span("union/rayon");
-
-    // Phase I: presence bits, g/p, carry scan, classification.
-    let sp_phase = obs::span("union/phase1");
-    let (a, b): (Vec<bool>, Vec<bool>) = (0..width)
-        .into_par_iter()
-        .map(|i| (at(h1, i).is_some(), at(h2, i).is_some()))
-        .unzip();
-    let (g, p): (Vec<bool>, Vec<bool>) = (0..width)
-        .into_par_iter()
-        .map(|i| (a[i] && b[i], a[i] ^ b[i]))
-        .unzip();
-    let statuses: Vec<parscan::CarryStatus> = (0..width)
-        .into_par_iter()
-        .map(|i| parscan::carry_status(a[i], b[i]))
-        .collect();
-    let c: Vec<bool> = parscan::par::scan_inclusive(
-        &statuses,
-        parscan::CarryStatus::Propagate,
-        parscan::compose_status,
-    )
-    .into_par_iter()
-    .map(|s| s == parscan::CarryStatus::Generate)
-    .collect();
-    let s: Vec<bool> = (0..width)
-        .into_par_iter()
-        .map(|i| p[i] ^ (i > 0 && c[i - 1]))
-        .collect();
-    let class: Vec<PointType> = (0..width)
-        .into_par_iter()
-        .map(|i| classify_point(g[i], p[i], i > 0 && c[i - 1], i + 1 < width && p[i + 1]))
-        .collect();
-    let i_lim: Vec<bool> = (0..width)
-        .into_par_iter()
-        .map(|i| !(p[i] && i > 0 && c[i - 1]))
-        .collect();
-
-    drop(sp_phase);
-    // Phase II: segmented prefix minima over (I_lim, I_valueB).
-    let sp_phase = obs::span("union/phase2");
-    let i_value_b: Vec<Option<RootRef<K>>> = (0..width)
-        .into_par_iter()
-        .map(|i| position_winner(at(h1, i), at(h2, i)))
-        .collect();
-    let pairs: Vec<(bool, Option<RootRef<K>>)> = i_lim
-        .par_iter()
-        .copied()
-        .zip(i_value_b.par_iter().copied())
-        .collect();
-    let i_value_a: Vec<Option<RootRef<K>>> =
-        parscan::par::scan_inclusive(&pairs, (false, None), seg_combine)
-            .into_par_iter()
-            .map(|p| p.1)
-            .collect();
-
-    drop(sp_phase);
-    // Phase III: independent per-position decisions.
-    let sp_phase = obs::span("union/phase3");
-    let links: Vec<_> = (0..width)
-        .into_par_iter()
-        .filter_map(|i| {
-            link_decision(
-                class[i],
-                g[i],
-                at(h1, i),
-                at(h2, i),
-                i_value_b[i],
-                i_value_a[i],
-                if i > 0 { i_value_a[i - 1] } else { None },
-                i,
-            )
-        })
-        .collect();
-    let mut new_roots = vec![None; width];
-    let assignments: Vec<(usize, crate::arena::NodeId)> = (0..width)
-        .into_par_iter()
-        .filter_map(|i| {
-            new_root_decision(
-                i,
-                class[i],
-                g[i],
-                p[i],
-                i > 0 && c[i - 1],
-                i + 1 < width && p[i + 1],
-                i_value_a[i],
-            )
-        })
-        .collect();
-    for (slot, id) in assignments {
-        debug_assert!(new_roots[slot].is_none());
-        new_roots[slot] = Some(id);
+    let width = h1.len().max(h2.len());
+    if width < crate::cutoff::plan_par_cutoff() {
+        build_plan_into(plan, h1, h2);
+        return;
     }
-    drop(sp_phase);
+    build_plan_fused_into(plan, h1, h2, FUSED_CHUNK);
+}
 
-    UnionPlan {
-        width,
+/// Split `v` into consecutive mutable chunks of length `chunk` (last ragged).
+fn chunk_splits<T>(mut v: &mut [T], chunk: usize) -> Vec<&mut [T]> {
+    let mut out = Vec::with_capacity(v.len().div_ceil(chunk));
+    while !v.is_empty() {
+        let take = chunk.min(v.len());
+        let (head, rest) = v.split_at_mut(take);
+        out.push(head);
+        v = rest;
+    }
+    out
+}
+
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, x: T) {
+    v.clear();
+    v.resize(n, x);
+}
+
+/// The fused chunked planner with an explicit chunk length — the schedule
+/// behind [`build_plan_rayon_into`]'s parallel arm, exposed (doc-hidden) so
+/// cutoff-boundary tests and the calibrator can force chunking at any width.
+#[doc(hidden)]
+pub fn build_plan_fused_into<K: Ord + Copy + Send + Sync>(
+    plan: &mut UnionPlan<K>,
+    h1: &[Option<RootRef<K>>],
+    h2: &[Option<RootRef<K>>],
+    chunk: usize,
+) {
+    let width = h1.len().max(h2.len());
+    let chunk = chunk.max(1);
+    let at = |v: &[Option<RootRef<K>>], i: usize| v.get(i).copied().flatten();
+
+    plan.width = width;
+    let UnionPlan {
+        width: _,
         a,
         b,
         g,
@@ -131,6 +117,170 @@ pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
         i_value_a,
         links,
         new_roots,
+    } = plan;
+    refill(a, width, false);
+    refill(b, width, false);
+    refill(g, width, false);
+    refill(p, width, false);
+    refill(c, width, false);
+    refill(s, width, false);
+    refill(class, width, PointType::Independent);
+    refill(i_lim, width, false);
+    refill(i_value_b, width, None);
+    refill(i_value_a, width, None);
+    links.clear();
+    refill(new_roots, width, None);
+    if width == 0 {
+        return;
+    }
+
+    // ---- Sweep 1: presence / generate / propagate + carry summaries ------
+    // Each chunk fills its a/b/g/p slices and folds its positions into one
+    // carry status; the exclusive stitch of those summaries under the
+    // carry-lookahead monoid is the carry entering each chunk.
+    let carry_in: Vec<bool> = {
+        let _sp = obs::span("union/phase1");
+        let parts: Vec<_> = chunk_splits(a, chunk)
+            .into_iter()
+            .zip(chunk_splits(b, chunk))
+            .zip(chunk_splits(g, chunk))
+            .zip(chunk_splits(p, chunk))
+            .enumerate()
+            .map(|(ci, (((ca, cb), cg), cp))| (ci * chunk, ca, cb, cg, cp))
+            .collect();
+        let sums: Vec<parscan::CarryStatus> = parts
+            .into_par_iter()
+            .map(|(lo, ca, cb, cg, cp)| {
+                let mut sum = parscan::CarryStatus::Propagate; // monoid identity
+                for k in 0..ca.len() {
+                    let i = lo + k;
+                    let ai = at(h1, i).is_some();
+                    let bi = at(h2, i).is_some();
+                    ca[k] = ai;
+                    cb[k] = bi;
+                    cg[k] = ai && bi;
+                    cp[k] = ai ^ bi;
+                    sum = parscan::compose_status(sum, parscan::carry_status(ai, bi));
+                }
+                sum
+            })
+            .collect();
+        let mut acc = parscan::CarryStatus::Propagate; // c_{-1} = 0
+        sums.iter()
+            .map(|&sum| {
+                let inbound = acc == parscan::CarryStatus::Generate;
+                acc = parscan::compose_status(acc, sum);
+                inbound
+            })
+            .collect()
+    };
+
+    // ---- Sweep 2: carries, sum bits, classes, limits, winners ------------
+    // Reads the sweep-1 fields through shared slices, writes c/s/class/
+    // i_lim/i_value_b per chunk, and folds each chunk into a segment
+    // summary for the Phase II stitch.
+    let seg_in: Vec<(bool, Option<RootRef<K>>)> = {
+        let _sp = obs::span("union/phase2");
+        let (g, p) = (&g[..], &p[..]);
+        let parts: Vec<_> = chunk_splits(c, chunk)
+            .into_iter()
+            .zip(chunk_splits(s, chunk))
+            .zip(chunk_splits(class, chunk))
+            .zip(chunk_splits(i_lim, chunk))
+            .zip(chunk_splits(i_value_b, chunk))
+            .zip(carry_in)
+            .enumerate()
+            .map(|(ci, (((((cc, cs), ccl), clim), cvb), inbound))| {
+                (ci * chunk, cc, cs, ccl, clim, cvb, inbound)
+            })
+            .collect();
+        let sums: Vec<(bool, Option<RootRef<K>>)> = parts
+            .into_par_iter()
+            .map(|(lo, cc, cs, ccl, clim, cvb, inbound)| {
+                let mut carry = inbound;
+                let mut seg = (false, None); // left identity of seg_combine
+                for k in 0..cc.len() {
+                    let i = lo + k;
+                    let c_prev = carry;
+                    carry = g[i] || (p[i] && carry);
+                    cc[k] = carry;
+                    cs[k] = p[i] ^ c_prev;
+                    let p_next = i + 1 < width && p[i + 1];
+                    ccl[k] = classify_point(g[i], p[i], c_prev, p_next);
+                    clim[k] = !(p[i] && c_prev);
+                    cvb[k] = position_winner(at(h1, i), at(h2, i));
+                    seg = seg_combine(seg, (clim[k], cvb[k]));
+                }
+                seg
+            })
+            .collect();
+        let mut acc = (false, None);
+        sums.iter()
+            .map(|&sum| {
+                let inbound = acc;
+                acc = seg_combine(acc, sum);
+                inbound
+            })
+            .collect()
+    };
+
+    // ---- Sweep 3: dominant roots + link / new-root decisions -------------
+    // Reads every earlier field shared, writes i_value_a per chunk and
+    // stages each chunk's decisions; the staged vectors concatenate in chunk
+    // order, so `links` comes out slot-ascending like the oracle's.
+    {
+        let _sp = obs::span("union/phase3");
+        let (g, p, c) = (&g[..], &p[..], &c[..]);
+        let (class, i_lim, i_value_b) = (&class[..], &i_lim[..], &i_value_b[..]);
+        let parts: Vec<_> = chunk_splits(i_value_a, chunk)
+            .into_iter()
+            .zip(seg_in)
+            .enumerate()
+            .map(|(ci, (cva, inbound))| (ci * chunk, cva, inbound))
+            .collect();
+        type StagedChunk = (Vec<LinkOp>, Vec<(usize, NodeId)>);
+        let staged: Vec<StagedChunk> = parts
+            .into_par_iter()
+            .map(|(lo, cva, inbound)| {
+                let mut acc = inbound;
+                let mut ops = Vec::new();
+                let mut roots = Vec::new();
+                for (k, dom_slot) in cva.iter_mut().enumerate() {
+                    let i = lo + k;
+                    let dom_prev = acc.1;
+                    acc = seg_combine(acc, (i_lim[i], i_value_b[i]));
+                    *dom_slot = acc.1;
+                    let c_prev = i > 0 && c[i - 1];
+                    let p_next = i + 1 < width && p[i + 1];
+                    if let Some(op) = link_decision(
+                        class[i],
+                        g[i],
+                        at(h1, i),
+                        at(h2, i),
+                        i_value_b[i],
+                        acc.1,
+                        dom_prev,
+                        i,
+                    ) {
+                        ops.push(op);
+                    }
+                    if let Some((slot, root)) =
+                        new_root_decision(i, class[i], g[i], p[i], c_prev, p_next, acc.1)
+                    {
+                        roots.push((slot, root));
+                    }
+                }
+                (ops, roots)
+            })
+            .collect();
+        for (ops, roots) in staged {
+            links.extend(ops);
+            for (slot, root) in roots {
+                debug_assert!(slot < width, "result width must accommodate all roots");
+                debug_assert!(new_roots[slot].is_none(), "H slot assigned twice");
+                new_roots[slot] = Some(root);
+            }
+        }
     }
 }
 
@@ -138,10 +288,15 @@ pub fn build_plan_rayon<K: Ord + Copy + Send + Sync>(
 mod tests {
     use super::*;
     use crate::arena::NodeId;
-    use crate::plan::build_plan_seq;
+    use crate::plan::{build_plan_seq, plan_width};
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
-    fn random_side(rng: &mut StdRng, n: usize, width: usize, id_base: u32) -> Vec<Option<RootRef>> {
+    fn random_side(
+        rng: &mut StdRng,
+        n: usize,
+        width: usize,
+        id_base: u32,
+    ) -> Vec<Option<RootRef<i64>>> {
         (0..width)
             .map(|i| {
                 (n >> i & 1 == 1).then(|| RootRef {
@@ -158,30 +313,85 @@ mod tests {
         for _ in 0..300 {
             let n1 = rng.gen_range(0usize..100_000);
             let n2 = rng.gen_range(0usize..100_000);
-            let width = crate::plan::plan_width(n1, n2);
+            let width = plan_width(n1, n2);
             let h1 = random_side(&mut rng, n1, width, 0);
             let h2 = random_side(&mut rng, n2, width, 1_000);
             let seq = build_plan_seq(&h1, &h2);
             let par = build_plan_rayon(&h1, &h2);
             assert_eq!(seq, par, "n1={n1} n2={n2}");
-            seq.validate().unwrap();
+            seq.validate().expect("plan invariants");
+        }
+    }
+
+    #[test]
+    fn fused_chunked_plan_equals_sequential_at_every_chunk_length() {
+        // The fused sweeps must agree with the oracle for every chunking,
+        // including chunk edges landing mid carry chain / mid segment.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let n1 = rng.gen_range(0usize..1_000_000);
+            let n2 = rng.gen_range(0usize..1_000_000);
+            let width = plan_width(n1, n2);
+            let h1 = random_side(&mut rng, n1, width, 0);
+            let h2 = random_side(&mut rng, n2, width, 1_000);
+            let seq = build_plan_seq(&h1, &h2);
+            for chunk in [1usize, 2, 3, 5, 8, 16, 64] {
+                let mut fused = UnionPlan::default();
+                build_plan_fused_into(&mut fused, &h1, &h2, chunk);
+                assert_eq!(seq, fused, "n1={n1} n2={n2} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_buffers_are_reused_across_calls() {
+        // One plan, many melds: the *_into contract refills in place.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut plan = UnionPlan::default();
+        for trial in 0..20 {
+            let n1 = rng.gen_range(1usize..10_000);
+            let n2 = rng.gen_range(1usize..10_000);
+            let width = plan_width(n1, n2);
+            let h1 = random_side(&mut rng, n1, width, 0);
+            let h2 = random_side(&mut rng, n2, width, 1_000);
+            build_plan_fused_into(&mut plan, &h1, &h2, 4);
+            assert_eq!(plan, build_plan_seq(&h1, &h2), "trial {trial}");
         }
     }
 
     #[test]
     fn all_ones_worst_case_chain() {
-        // n1 = n2 = 2^k - 1: every position generates, maximal chains.
+        // n1 = n2 = 2^k - 1: every position occupied, maximal carry chain.
         let mut rng = StdRng::seed_from_u64(1);
         let n = (1usize << 12) - 1;
-        let width = crate::plan::plan_width(n, n);
+        let width = plan_width(n, n);
         let h1 = random_side(&mut rng, n, width, 0);
         let h2 = random_side(&mut rng, n, width, 500);
         let seq = build_plan_seq(&h1, &h2);
         let par = build_plan_rayon(&h1, &h2);
         assert_eq!(seq, par);
-        // 12 generate positions -> 12 links, result = one B_13... precisely:
-        // n+n = 2^13 - 2 = 0b1111111111110.
+        let mut fused = UnionPlan::default();
+        build_plan_fused_into(&mut fused, &h1, &h2, 4);
+        assert_eq!(seq, fused);
+        // Result population = 2n = 2^13 - 2: one root per set bit.
         let expected_roots = (0..width).filter(|i| (2 * n) >> i & 1 == 1).count();
         assert_eq!(seq.new_roots.iter().flatten().count(), expected_roots);
+    }
+
+    #[test]
+    fn empty_and_one_sided_fused() {
+        let mut plan = UnionPlan::<i64>::default();
+        build_plan_fused_into(&mut plan, &[], &[], 4);
+        assert_eq!(plan, build_plan_seq::<i64>(&[], &[]));
+        let h1 = vec![
+            Some(RootRef {
+                key: 3i64,
+                id: NodeId(0),
+            }),
+            None,
+        ];
+        let h2 = vec![None, None];
+        build_plan_fused_into(&mut plan, &h1, &h2, 1);
+        assert_eq!(plan, build_plan_seq(&h1, &h2));
     }
 }

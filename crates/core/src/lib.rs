@@ -36,6 +36,7 @@ pub mod arena;
 pub mod build;
 pub mod bulk;
 pub mod check;
+pub mod cutoff;
 pub mod engine_pram;
 pub mod engine_rayon;
 pub mod heap;

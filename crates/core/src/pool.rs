@@ -37,10 +37,6 @@ use crate::arena::{Arena, ArenaStats, Node, NodeId};
 use crate::heap::{Engine, ParBinomialHeap};
 use crate::plan::{build_plan_into, plan_width, RootRef, UnionPlan};
 
-/// Sub-ranges below this size build sequentially (same granularity rule as
-/// the old divide-and-conquer builder; see DESIGN.md §5).
-const SEQ_THRESHOLD: usize = 8 * 1024;
-
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Generational identity of a [`HeapPool`]. Every [`PooledHeap`] carries the
@@ -488,7 +484,8 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
         );
         let mut slab: Vec<Option<Node<K>>> = Vec::new();
         slab.resize_with(keys.len(), || None);
-        let mut roots = build_slab_rec(keys, &mut slab, base as u32, engine);
+        let cutoff = crate::cutoff::bulk_join_cutoff();
+        let mut roots = build_slab_rec(keys, &mut slab, base as u32, engine, cutoff);
         self.arena.extend_slab(slab);
         trim(&mut roots);
         let h = PooledHeap {
@@ -543,8 +540,11 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
                 build_plan_into(&mut self.scratch_plan, &self.scratch_h1, &self.scratch_h2);
             }
             Engine::Rayon => {
-                self.scratch_plan =
-                    crate::engine_rayon::build_plan_rayon(&self.scratch_h1, &self.scratch_h2);
+                crate::engine_rayon::build_plan_rayon_into(
+                    &mut self.scratch_plan,
+                    &self.scratch_h1,
+                    &self.scratch_h2,
+                );
             }
         }
         #[cfg(feature = "debug-validate")]
@@ -635,22 +635,25 @@ fn move_subtree<K>(
 
 /// Recursive slab builder: build `keys` into `slab` (a disjoint slice of the
 /// final arena slab) with node `i` at global id `base + i`, melding the two
-/// halves' root arrays inside the slab on the way up.
+/// halves' root arrays inside the slab on the way up. `cutoff` is the
+/// calibrated minimum sub-range worth a `rayon::join` split
+/// ([`crate::cutoff::bulk_join_cutoff`]); smaller ranges run the leaf kernel.
 fn build_slab_rec<K: Ord + Copy + Send + Sync>(
     keys: &[K],
     slab: &mut [Option<Node<K>>],
     base: u32,
     engine: Engine,
+    cutoff: usize,
 ) -> Vec<Option<NodeId>> {
     debug_assert_eq!(keys.len(), slab.len());
-    if keys.len() <= SEQ_THRESHOLD {
+    if keys.len() <= cutoff {
         return build_slab_leaf(keys, slab, base);
     }
     let mid = keys.len() / 2;
     let (left_slab, right_slab) = slab.split_at_mut(mid);
     let (left_roots, right_roots) = rayon::join(
-        || build_slab_rec(&keys[..mid], left_slab, base, engine),
-        || build_slab_rec(&keys[mid..], right_slab, base + mid as u32, engine),
+        || build_slab_rec(&keys[..mid], left_slab, base, engine, cutoff),
+        || build_slab_rec(&keys[mid..], right_slab, base + mid as u32, engine, cutoff),
     );
     meld_in_slab(
         slab,
@@ -664,7 +667,8 @@ fn build_slab_rec<K: Ord + Copy + Send + Sync>(
 }
 
 /// Sequential ripple-carry build of one slab segment (ids = `base + index`).
-fn build_slab_leaf<K: Ord + Copy>(
+/// `pub(crate)` so the cutoff calibrator can probe its per-key cost.
+pub(crate) fn build_slab_leaf<K: Ord + Copy>(
     keys: &[K],
     slab: &mut [Option<Node<K>>],
     base: u32,

@@ -16,6 +16,9 @@
 //!   an I/O processor; `Insert`/`Min`/`Extract-Min` are buffered, and
 //!   `Multi-Insert`/`Multi-Extract-Min` are built on the
 //!   communication-metered `b_union`.
+//! * [`soa`] — the structure-of-arrays key-block layout and the merge-path
+//!   kernel: when both melding sides already satisfy chunk order, the
+//!   preprocessing sort collapses to an `O(N)` chunked parallel merge.
 //!
 //! All actual data movement (preprocessing sort, chunk redistribution,
 //! Hamiltonian prefixes for Phases I–II, child-address and dominant-root
@@ -42,6 +45,7 @@
 pub mod bheap;
 pub mod mapping;
 pub mod queue;
+pub mod soa;
 
 pub use bheap::{BbHeap, BbNodeId};
 pub use mapping::processor_of_degree;

@@ -816,8 +816,18 @@ impl DistributedPq {
         }
         route(&mut self.net, packets)?;
 
-        // (2) Bitonic sort on the cube (metered).
-        let sorted = bitonic_sort(&mut self.net, &stream)?;
+        // (2) Sort the stream. Fast path: when both sides already satisfy
+        // the chunk-order invariant, their SoA streams are each sorted and
+        // the global sort collapses to an O(N) merge-path merge — the
+        // bitonic network (O(N log² N) compare rounds) only runs for inputs
+        // that genuinely lack chunk order (e.g. the orphaned children of an
+        // extracted root).
+        let s1 = crate::soa::SoaBlocks::gather(&self.heap, r1);
+        let s2 = crate::soa::SoaBlocks::gather(&self.heap, r2);
+        let sorted = match crate::soa::merged_stream(&s1, &s2) {
+            Some(merged) => merged,
+            None => bitonic_sort(&mut self.net, &stream)?,
+        };
 
         // (3) Tree order by old max key (ties by enumeration index).
         let mut order: Vec<usize> = (0..all_roots.len()).collect();

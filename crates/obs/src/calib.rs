@@ -1,0 +1,207 @@
+//! Cutoff calibration: solving sequential-vs-parallel crossovers from
+//! measured samples.
+//!
+//! The conformance envelopes ([`crate::bounds::Envelope`]) fit an explicit
+//! constant to an asymptotic *shape*; this module applies the same fitting
+//! discipline to the question every hybrid kernel asks: **below which input
+//! size should the parallel path fall through to the sequential one?**
+//! Guessed constants (the old `SEQ_THRESHOLD = 8 * 1024`) answer it for one
+//! machine and rot on every other; a [`CostModel`] answers it from samples
+//! measured on the machine the kernel is about to run on.
+//!
+//! The model is deliberately simple — an affine cost per path,
+//!
+//! ```text
+//! seq(n) ≈ c_seq · n
+//! par(n) ≈ overhead + c_par · n
+//! ```
+//!
+//! with each constant fitted through [`Envelope::fit`] (max ratio over the
+//! calibration samples, so the fit is conservative: it over-estimates the
+//! path it argues *for*). The crossover is where the parallel line dips
+//! under the sequential one:
+//!
+//! ```text
+//! n* = overhead / (c_seq − c_par)        (c_par < c_seq)
+//! n* = ∞                                  (otherwise — parallel never pays)
+//! ```
+//!
+//! A hardware fact this encodes honestly: on a single-core host `c_par ≥
+//! c_seq` (thread dispatch buys nothing), so calibration yields
+//! [`Crossover::Never`] and every kernel built on it degenerates to its
+//! sequential path — which is exactly the wall-clock-optimal schedule there.
+
+use crate::bounds::Envelope;
+
+/// Result of solving a sequential-vs-parallel cost crossover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Crossover {
+    /// The parallel path starts paying at this input size.
+    At(usize),
+    /// The parallel path never pays on this machine (`c_par ≥ c_seq`).
+    Never,
+}
+
+impl Crossover {
+    /// The crossover as a plain cutoff: inputs strictly below it should run
+    /// sequentially. [`Crossover::Never`] maps to `usize::MAX`.
+    pub fn cutoff(self) -> usize {
+        match self {
+            Crossover::At(n) => n,
+            Crossover::Never => usize::MAX,
+        }
+    }
+}
+
+/// An affine two-path cost model fitted from measured samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// What is being calibrated, e.g. `"bulk_build"`.
+    pub name: &'static str,
+    /// Fitted sequential cost per item (ns).
+    pub c_seq: f64,
+    /// Fitted parallel marginal cost per item (ns).
+    pub c_par: f64,
+    /// Fitted fixed parallel overhead (ns): dispatch, task spawn, stitch.
+    pub overhead: f64,
+}
+
+impl CostModel {
+    /// Fit the model from per-path samples.
+    ///
+    /// * `seq` — `(n, measured_ns)` runs of the sequential kernel;
+    /// * `par` — `(n, measured_ns)` runs of the parallel kernel;
+    /// * `overhead_ns` — directly measured fixed dispatch cost (e.g. timing
+    ///   an empty `rayon::join`), folded in as the affine intercept.
+    ///
+    /// The per-item constants come from [`Envelope::fit`] with the linear
+    /// shape `shape(n) = n`; the parallel samples have the overhead
+    /// subtracted first (clamped at zero) so the intercept is not double
+    /// counted. Returns `None` when either side has no usable sample.
+    pub fn fit(
+        name: &'static str,
+        seq: &[(usize, f64)],
+        par: &[(usize, f64)],
+        overhead_ns: f64,
+    ) -> Option<CostModel> {
+        let lin = |s: &[(usize, f64)], sub: f64| -> Vec<(f64, f64)> {
+            s.iter()
+                .map(|&(n, ns)| (n as f64, (ns - sub).max(0.0)))
+                .collect()
+        };
+        let e_seq = Envelope::fit(name, "calib.seq", &lin(seq, 0.0))?;
+        let e_par = Envelope::fit(name, "calib.par", &lin(par, overhead_ns))?;
+        Some(CostModel {
+            name,
+            c_seq: e_seq.c,
+            c_par: e_par.c,
+            overhead: overhead_ns.max(0.0),
+        })
+    }
+
+    /// Solve the crossover (see the module docs). `margin` demands the
+    /// parallel path win by that factor before it is chosen — `1.0` is the
+    /// break-even point, `1.25` requires a 25% projected win, absorbing
+    /// fit noise so a borderline machine stays sequential.
+    pub fn crossover(&self, margin: f64) -> Crossover {
+        let margin = margin.max(1.0);
+        // Require c_seq · n ≥ margin · (overhead + c_par · n).
+        let slope_gap = self.c_seq - margin * self.c_par;
+        if slope_gap <= 0.0 || !slope_gap.is_finite() {
+            return Crossover::Never;
+        }
+        let n = (margin * self.overhead / slope_gap).ceil();
+        if !n.is_finite() || n >= usize::MAX as f64 {
+            Crossover::Never
+        } else {
+            Crossover::At((n as usize).max(1))
+        }
+    }
+
+    /// Projected cost of the sequential path at `n` (ns).
+    pub fn seq_cost(&self, n: usize) -> f64 {
+        self.c_seq * n as f64
+    }
+
+    /// Projected cost of the parallel path at `n` (ns).
+    pub fn par_cost(&self, n: usize) -> f64 {
+        self.overhead + self.c_par * n as f64
+    }
+}
+
+/// Clamp a calibrated cutoff into `[lo, hi]` — kernels keep hard floors
+/// (parallelism below a cache line is absurd) and ceilings (a pathological
+/// calibration run must not serialize petabyte inputs) around the measured
+/// value. `Never` crossovers saturate at `hi`... deliberately: the kernel's
+/// *granularity* still needs a finite answer (chunk size, batch size) even
+/// when the *dispatch* decision is "don't".
+pub fn clamp_cutoff(c: Crossover, lo: usize, hi: usize) -> usize {
+    c.cutoff().clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_solves_break_even() {
+        // seq = 10 ns/item, par = 5 ns/item + 10_000 ns overhead:
+        // break-even at 10n = 10_000 + 5n → n = 2000.
+        let m = CostModel {
+            name: "t",
+            c_seq: 10.0,
+            c_par: 5.0,
+            overhead: 10_000.0,
+        };
+        assert_eq!(m.crossover(1.0), Crossover::At(2000));
+        // A 2x margin: 10n ≥ 2(10_000 + 5n) → n = ∞ (slope gap zero).
+        assert_eq!(m.crossover(2.0), Crossover::Never);
+        // A 1.25x margin: 10n ≥ 1.25·10_000 + 6.25n → n = 3334.
+        assert_eq!(m.crossover(1.25), Crossover::At(3334));
+    }
+
+    #[test]
+    fn single_core_shape_never_crosses() {
+        // Parallel marginal cost no better than sequential: Never, and the
+        // cutoff saturates.
+        let m = CostModel {
+            name: "t",
+            c_seq: 10.0,
+            c_par: 10.0,
+            overhead: 100.0,
+        };
+        assert_eq!(m.crossover(1.0), Crossover::Never);
+        assert_eq!(m.crossover(1.0).cutoff(), usize::MAX);
+        assert_eq!(clamp_cutoff(m.crossover(1.0), 64, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn fit_subtracts_overhead_and_keeps_max_ratio() {
+        let seq = [(1000usize, 10_000.0), (2000, 22_000.0)]; // 10, 11 ns/item
+        let par = [(1000usize, 9_000.0), (2000, 12_000.0)]; // minus 4k: 5, 4
+        let m = CostModel::fit("t", &seq, &par, 4_000.0).expect("samples");
+        assert!((m.c_seq - 11.0).abs() < 1e-9, "max ratio wins: {}", m.c_seq);
+        assert!((m.c_par - 5.0).abs() < 1e-9);
+        assert!((m.overhead - 4_000.0).abs() < 1e-9);
+        // 11n = 4000 + 5n → n = 667.
+        assert_eq!(m.crossover(1.0), Crossover::At(667));
+    }
+
+    #[test]
+    fn fit_requires_usable_samples() {
+        assert_eq!(CostModel::fit("t", &[], &[(10, 1.0)], 0.0), None);
+        assert_eq!(CostModel::fit("t", &[(10, 1.0)], &[], 0.0), None);
+        // Overhead larger than every parallel sample clamps to zero marginal
+        // cost — degenerate, surfaces as Never only via the epsilon floor.
+        let m = CostModel::fit("t", &[(10, 100.0)], &[(10, 1.0)], 50.0).expect("fits");
+        assert!(m.c_par <= 1e-9 + f64::EPSILON);
+        assert!(matches!(m.crossover(1.0), Crossover::At(_)));
+    }
+
+    #[test]
+    fn clamp_bounds_both_ends() {
+        assert_eq!(clamp_cutoff(Crossover::At(10), 64, 4096), 64);
+        assert_eq!(clamp_cutoff(Crossover::At(100_000), 64, 4096), 4096);
+        assert_eq!(clamp_cutoff(Crossover::At(1000), 64, 4096), 1000);
+    }
+}

@@ -73,14 +73,18 @@ impl Default for ServiceBuilder {
         ServiceBuilder {
             shards: 4,
             engine: Engine::Sequential,
-            bulk_threshold: 4,
+            // The admission batcher and the bulk kernels must agree on when
+            // a batch is worth the slab builder: default to the calibrated
+            // crossover (probed at first use, env-overridable with
+            // MELDPQ_BATCH_CUTOFF) instead of a guessed constant.
+            bulk_threshold: meldpq::cutoff::batch_bulk_cutoff().max(2),
         }
     }
 }
 
 impl ServiceBuilder {
     /// Start from the defaults (4 shards, sequential planner, bulk builds
-    /// from 4 coalesced inserts up).
+    /// from the calibrated batch cutoff up).
     pub fn new() -> Self {
         Self::default()
     }

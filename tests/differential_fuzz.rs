@@ -111,6 +111,39 @@ fn pool_op_strategy() -> impl Strategy<Value = PoolOp> {
     ]
 }
 
+/// One step of a bulk-threshold program: batch sizes are drawn to straddle
+/// a pinned admission cutoff, so a single program exercises the
+/// ripple-insert path (below) and the pooled slab kernel (at/above) in
+/// interleaved succession, under both planning engines.
+#[derive(Debug, Clone)]
+enum BulkOp {
+    /// Multi-insert a batch of `len` keys derived from `salt`.
+    MultiInsert { len: usize, salt: i64 },
+    /// Extract the `k % 12` smallest everywhere; results must agree.
+    MultiExtract(usize),
+    /// Single insert — keeps the resident heap irregular between batches.
+    Insert(i64),
+    /// Extract the minimum everywhere.
+    ExtractMin,
+}
+
+/// The pinned admission cutoff for [`BulkOp`] programs. The calibrated
+/// value is host-dependent and `OnceLock`-cached, so the boundary is pinned
+/// explicitly and handed to `multi_insert_at` — batch lengths are drawn
+/// from `0..=2·BULK_ADMISSION`, putting roughly half of every program on
+/// each side of the threshold.
+const BULK_ADMISSION: usize = 8;
+
+fn bulk_op_strategy() -> impl Strategy<Value = BulkOp> {
+    prop_oneof![
+        4 => (0usize..2 * BULK_ADMISSION + 1, key_strategy())
+            .prop_map(|(len, salt)| BulkOp::MultiInsert { len, salt }),
+        3 => any::<usize>().prop_map(BulkOp::MultiExtract),
+        2 => key_strategy().prop_map(BulkOp::Insert),
+        2 => Just(BulkOp::ExtractMin),
+    ]
+}
+
 /// Sorted-vector oracle: the trivially correct meldable priority queue.
 #[derive(Default)]
 struct Oracle {
@@ -313,6 +346,73 @@ proptest! {
         for (name, q) in engines.iter_mut() {
             prop_assert_eq!(&q.drain_sorted(), &want, "{} drain", name);
             prop_assert_eq!(q.len(), 0, "{} empty after drain", name);
+        }
+    }
+
+    /// Both sides of the bulk-admission threshold in one program: batches
+    /// straddling [`BULK_ADMISSION`] flip between ripple-insert and the
+    /// pooled slab kernel mid-program, under the sequential and rayon
+    /// planners in lockstep against the sorted-vec oracle.
+    #[test]
+    fn bulk_threshold_boundary_programs_agree(
+        ops in proptest::collection::vec(bulk_op_strategy(), 0..32),
+    ) {
+        let mut heaps = [
+            ("seq", Engine::Sequential, ParBinomialHeap::new()),
+            ("rayon", Engine::Rayon, ParBinomialHeap::new()),
+        ];
+        let mut oracle = Oracle::default();
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                BulkOp::MultiInsert { len, salt } => {
+                    let keys: Vec<i64> =
+                        (0..*len as i64).map(|i| (i * 13 + salt).rem_euclid(64)).collect();
+                    for k in &keys {
+                        oracle.insert(*k);
+                    }
+                    for (_, engine, h) in heaps.iter_mut() {
+                        h.multi_insert_at(&keys, *engine, BULK_ADMISSION);
+                    }
+                }
+                BulkOp::MultiExtract(k) => {
+                    let k = k % 12;
+                    let want: Vec<i64> =
+                        (0..k).map_while(|_| oracle.extract_min()).collect();
+                    for (name, engine, h) in heaps.iter_mut() {
+                        prop_assert_eq!(
+                            &h.multi_extract_min(k, *engine), &want,
+                            "{} multi-extract at step {}", name, step
+                        );
+                    }
+                }
+                BulkOp::Insert(k) => {
+                    oracle.insert(*k);
+                    for (_, _, h) in heaps.iter_mut() {
+                        h.insert(*k);
+                    }
+                }
+                BulkOp::ExtractMin => {
+                    let want = oracle.extract_min();
+                    for (name, engine, h) in heaps.iter_mut() {
+                        prop_assert_eq!(
+                            h.extract_min(*engine), want,
+                            "{} extract at step {}", name, step
+                        );
+                    }
+                }
+            }
+            if step % 8 == 7 {
+                for (name, _, h) in heaps.iter() {
+                    if let Err(e) = h.validate() {
+                        panic!("{name} invariants broken after step {step}: {e}");
+                    }
+                }
+            }
+        }
+        let want = oracle.keys;
+        for (name, _, h) in heaps.iter_mut() {
+            let drained = std::mem::take(h).into_sorted_vec();
+            prop_assert_eq!(&drained, &want, "{} drain", name);
         }
     }
 

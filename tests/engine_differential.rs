@@ -3,8 +3,8 @@
 //! isomorphism, on arbitrary inputs.
 
 use meldpq::engine_pram::build_plan_pram;
-use meldpq::engine_rayon::build_plan_rayon;
-use meldpq::plan::{build_plan_seq, plan_width, RootRef};
+use meldpq::engine_rayon::{build_plan_fused_into, build_plan_rayon, FUSED_CHUNK};
+use meldpq::plan::{build_plan_seq, plan_width, RootRef, UnionPlan};
 use meldpq::NodeId;
 use proptest::prelude::*;
 
@@ -13,6 +13,21 @@ fn side(n: usize, width: usize, keys: &[i64], base: u32) -> Vec<Option<RootRef>>
     (0..width)
         .map(|i| {
             (n >> i & 1 == 1).then(|| RootRef {
+                key: k.next().expect("cycle"),
+                id: NodeId(base + i as u32),
+            })
+        })
+        .collect()
+}
+
+/// A side from an explicit occupancy vector — widths past 64 positions are
+/// out of reach for the `usize`-bitmask builder above. The top slot stays
+/// empty so the union's carry-out always fits inside `width`.
+fn side_occ(occ: &[bool], width: usize, keys: &[i64], base: u32) -> Vec<Option<RootRef>> {
+    let mut k = keys.iter().copied().cycle();
+    (0..width)
+        .map(|i| {
+            (i + 1 < width && occ.get(i).copied().unwrap_or(false)).then(|| RootRef {
                 key: k.next().expect("cycle"),
                 id: NodeId(base + i as u32),
             })
@@ -132,6 +147,61 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The calibrated-cutoff boundary: at widths `cutoff−1 / cutoff /
+    /// cutoff+1` the public rayon entry flips from the sequential
+    /// fall-through to the fused chunked sweeps, and both schedules must
+    /// stay bit-identical to the sequential oracle across the flip. Also
+    /// drives the fused kernel directly at every boundary width, so the
+    /// equivalence holds even on a host whose calibration never engages it.
+    #[test]
+    fn engines_agree_across_the_plan_cutoff_boundary(
+        occ1 in proptest::collection::vec(any::<bool>(), 80..81),
+        occ2 in proptest::collection::vec(any::<bool>(), 80..81),
+        keys in proptest::collection::vec(-1_000i64..1_000, 1..32),
+        chunk in 1usize..40,
+    ) {
+        let c = meldpq::cutoff::plan_par_cutoff();
+        for width in [c - 1, c, c + 1] {
+            let h1 = side_occ(&occ1, width, &keys, 0);
+            let h2 = side_occ(&occ2, width, &keys[keys.len() / 2..], 10_000);
+            let seq = build_plan_seq(&h1, &h2);
+            let ray = build_plan_rayon(&h1, &h2);
+            prop_assert_eq!(&seq, &ray, "rayon diverged at width {} (cutoff {})", width, c);
+            let mut fused = UnionPlan::default();
+            build_plan_fused_into(&mut fused, &h1, &h2, chunk);
+            prop_assert_eq!(&seq, &fused, "fused diverged at width {} chunk {}", width, chunk);
+            let mut fused_default = UnionPlan::default();
+            build_plan_fused_into(&mut fused_default, &h1, &h2, FUSED_CHUNK);
+            prop_assert_eq!(&seq, &fused_default, "fused diverged at width {}", width);
+            seq.validate().expect("structurally sound");
+        }
+    }
+
+    /// The batch-admission boundary: at `cutoff−1` keys the bulk build
+    /// ripple-inserts, at `cutoff` and `cutoff+1` it runs the pooled slab
+    /// kernel — same multiset, valid structure, under both engines.
+    #[test]
+    fn bulk_build_agrees_across_the_admission_boundary(
+        salt in any::<u64>(),
+        use_rayon in any::<bool>(),
+    ) {
+        use meldpq::{Engine, ParBinomialHeap};
+        let engine = if use_rayon { Engine::Rayon } else { Engine::Sequential };
+        // An explicit admission cutoff: the calibrated one is host-dependent
+        // and may exceed what a proptest case can afford to insert.
+        let admission = 24usize;
+        for n in [admission - 1, admission, admission + 1] {
+            let keys: Vec<i64> = (0..n as i64)
+                .map(|i| (i * 31 + salt as i64 % 97).rem_euclid(53))
+                .collect();
+            let h = ParBinomialHeap::from_keys_parallel_at(&keys, engine, admission);
+            h.validate().expect("valid across the admission boundary");
+            let mut expected = keys.clone();
+            expected.sort_unstable();
+            prop_assert_eq!(h.into_sorted_vec(), expected, "n={}", n);
         }
     }
 
