@@ -36,6 +36,7 @@ use bench::workloads;
 use criterion::{BatchSize, BenchResult, BenchmarkId, Criterion};
 use meldpq::{Engine, HeapPool, ParBinomialHeap};
 use obs::json::J;
+use service::ServiceBuilder;
 
 /// The meld sizes; 2^22 only with `--full`.
 fn meld_sizes(full: bool) -> Vec<usize> {
@@ -246,6 +247,46 @@ fn bench_mixed(c: &mut Criterion, _full: bool) {
     group.finish();
 }
 
+/// The always-on flight recorder's overhead on a mixed `QueueService`
+/// workload: the `recorder_on` arm is the shipping configuration, the
+/// `recorder_off` arm flips the process-wide kill switch. The gate holds
+/// `on` within 1.1× of `off` — the budget that justifies leaving the
+/// recorder enabled in release builds.
+fn bench_flight(c: &mut Criterion, _full: bool) {
+    let mut group = c.benchmark_group("flight");
+    const OPS: usize = 4096;
+    let mut rng = workloads::rng(83);
+    let keys = workloads::random_keys(&mut rng, OPS);
+    for (arm, enabled) in [("recorder_on", true), ("recorder_off", false)] {
+        let id = BenchmarkId::new(arm, OPS);
+        group.bench_with_input(id, &OPS, |b, _| {
+            obs::flight::set_enabled(enabled);
+            b.iter_batched(
+                || {
+                    let svc = ServiceBuilder::new().shards(1).build();
+                    let q = svc.create_queue();
+                    (svc, q)
+                },
+                |(svc, q)| {
+                    // W1's 2:1 insert/extract mix through the sync surface
+                    // (each op records begin/end events when enabled).
+                    for (i, &k) in keys.iter().enumerate() {
+                        if i % 3 < 2 {
+                            svc.insert(q, k).expect("insert");
+                        } else {
+                            let _ = svc.extract_min(q).expect("extract");
+                        }
+                    }
+                    svc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    obs::flight::set_enabled(true);
+    group.finish();
+}
+
 fn bench_scans(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefix_scan");
     for n in [1usize << 14, 1 << 20] {
@@ -343,6 +384,10 @@ const KERNEL_GATE_N: usize = 1 << 18;
 const MIXED_GATE_N: usize = 1 << 14;
 /// `mixed/rayon` may cost at most 1.2× `mixed/seq`.
 const MIXED_BOUND: f64 = 1.2;
+/// Ops in the flight-recorder overhead workload.
+const FLIGHT_GATE_N: usize = 4096;
+/// The recorder-on arm may cost at most 1.1× the recorder-off arm.
+const FLIGHT_BOUND: f64 = 1.1;
 
 fn gates() -> Vec<Gate> {
     vec![
@@ -369,6 +414,12 @@ fn gates() -> Vec<Gate> {
             fast: format!("mixed/rayon/{MIXED_GATE_N}"),
             slow: format!("mixed/seq/{MIXED_GATE_N}"),
             threshold: 1.0 / MIXED_BOUND,
+        },
+        Gate {
+            name: "flight_recorder_overhead",
+            fast: format!("flight/recorder_on/{FLIGHT_GATE_N}"),
+            slow: format!("flight/recorder_off/{FLIGHT_GATE_N}"),
+            threshold: 1.0 / FLIGHT_BOUND,
         },
     ]
 }
@@ -432,6 +483,7 @@ fn main() {
     bench_b_union(&mut c, full);
     bench_multi_extract(&mut c, full);
     bench_mixed(&mut c, full);
+    bench_flight(&mut c, full);
     bench_scans(&mut c);
     bench_bulk_build(&mut c, full);
 

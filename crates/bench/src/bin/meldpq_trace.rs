@@ -330,7 +330,9 @@ fn main() {
         .registry
         .record("seq_witness/binomial", seq_witness.stats());
 
-    telemetry.spans = obs::take_spans();
+    // Drain every thread's spans, not just main's — the theorem-2/3 kernels
+    // run under rayon, whose workers record into their own sinks.
+    telemetry.spans = obs::take_all_spans();
     telemetry.conformance = conf;
 
     let path = format!("{out_dir}/TELEMETRY_{workload}.json");

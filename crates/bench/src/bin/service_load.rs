@@ -30,7 +30,7 @@ use std::time::Instant;
 use bench::json::J;
 use bench::workloads;
 use meldpq::{Engine, MeldablePq, ParBinomialHeap};
-use obs::LatencyHistogram;
+use obs::{LatencyHistogram, Registry};
 use rand::Rng;
 use service::{QueueId, QueueService, ServiceBuilder};
 
@@ -306,6 +306,28 @@ fn main() {
         .map(|r| J::Num(r.1.quantile(0.99) as f64 / (r.3.quantile(0.99) as f64).max(1.0)))
         .collect();
 
+    // Observability export: the load histograms and the service's own
+    // snapshot land in an obs::Registry, and the registry rides inside
+    // SERVICE_load.json — scrapers and the report read one document and
+    // cannot drift apart. The client-side histograms are the gated numbers;
+    // the `service/shard*` families are the combiner's view of the same run.
+    let mut reg = Registry::new();
+    reg.record("service_load/service", svc_hist);
+    reg.record("service_load/mutex", mtx_hist);
+    svc.record_into(&mut reg);
+    let served: u64 = reg
+        .records()
+        .iter()
+        .filter(|r| r.family == "latency.histogram" && r.label.starts_with("service/shard"))
+        .flat_map(|r| r.fields.iter())
+        .filter(|(k, _)| k == "count")
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(
+        served, total as u64,
+        "every op of the final trial must be charged to a shard histogram"
+    );
+
     let ratio = svc_tput / mtx_tput;
     let tput_pass = ratio > 1.0;
     let gate = J::obj([
@@ -369,6 +391,7 @@ fn main() {
         ),
         ("gate", gate),
         ("p99_gate", p99_gate),
+        ("registry", reg.to_json()),
     ]);
 
     let reports = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../reports");

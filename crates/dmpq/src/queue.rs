@@ -358,6 +358,10 @@ impl DistributedPq {
 
     /// `Insert(Q, x)`: buffer in `Waiting`; flush `b` at a time.
     pub fn insert(&mut self, key: i64) -> Result<(), QueueError> {
+        // Adopt the caller's flight-recorder trace (or mint one) for the
+        // whole op, so transport retries and rehomes triggered by a flush
+        // are linkable back to this insert.
+        let (_t, _scope) = obs::flight::ambient_or_new();
         assert!(key < i64::MAX, "i64::MAX is the pad sentinel");
         self.waiting.push(Reverse(key));
         self.local_heap_ops += (self.waiting.len().max(2)).ilog2() as u64;
@@ -398,6 +402,7 @@ impl DistributedPq {
 
     /// `Extract-Min(Q)`.
     pub fn extract_min(&mut self) -> Result<Option<i64>, QueueError> {
+        let (_t, _scope) = obs::flight::ambient_or_new();
         if self.forehead.is_empty() && self.heap.node_count() > 0 {
             self.multi_extract_min()?;
         }
@@ -439,6 +444,7 @@ impl DistributedPq {
     /// exactly `b` items directly into the b-binomial heap as a fresh `B_0`
     /// node, bypassing the buffers. Returns the communication delta.
     pub fn multi_insert(&mut self, keys: Vec<i64>) -> Result<NetStats, QueueError> {
+        let (_t, _scope) = obs::flight::ambient_or_new();
         assert_eq!(keys.len(), self.b, "Multi-Insert takes exactly b items");
         let before = self.net.stats();
         self.attach_chunk(keys)?;
@@ -457,6 +463,7 @@ impl DistributedPq {
     /// (possibly shorter than `b`). This used to be a release-mode assert:
     /// a recoverable protocol state must not abort the process.
     pub fn multi_extract_min_direct(&mut self) -> Result<Option<Vec<i64>>, QueueError> {
+        let (_t, _scope) = obs::flight::ambient_or_new();
         if !self.forehead.is_empty() {
             return Ok(Some(self.forehead.drain(..).collect()));
         }
@@ -628,6 +635,7 @@ impl DistributedPq {
     /// Meld another queue into this one (`b-Union` of the heaps; buffers are
     /// merged at the I/O processor).
     pub fn meld(&mut self, other: DistributedPq) -> Result<(), QueueError> {
+        let (_t, _scope) = obs::flight::ambient_or_new();
         assert_eq!(self.b, other.b, "bandwidths must match");
         assert_eq!(self.net.q(), other.net.q(), "cube sizes must match");
         let before = self.net.stats();

@@ -34,6 +34,8 @@
 //! `NetStats` ledger, which is what lets the chaos fuzzer shrink and replay
 //! failures.
 
+use obs::flight::{self, EventKind};
+
 use crate::engine::{Inbox, NetError, NetSim, NetStats, Network, Send, Word};
 
 /// A scheduled processor crash.
@@ -243,6 +245,7 @@ impl FaultyNet {
     /// by the `dmpq` recovery layer so rehomes land in the same ledger as
     /// retries and redeliveries.
     pub fn note_rehomed(&mut self, n: u64) {
+        flight::record_here(EventKind::NetRehome, n);
         self.extra.rehomed_nodes += n;
     }
 
@@ -357,10 +360,14 @@ impl FaultyNet {
                 return Err(match worst {
                     Some((Cause::Dead { node }, _)) => NetError::Dead { node },
                     Some((Cause::Corrupt { node }, _)) => NetError::Corrupt { node },
-                    other => NetError::Timeout {
-                        node: other.map_or(0, |(_, to)| to),
-                        attempts: attempt,
-                    },
+                    other => {
+                        let node = other.map_or(0, |(_, to)| to);
+                        flight::record_here(EventKind::NetTimeout, node as u64);
+                        NetError::Timeout {
+                            node,
+                            attempts: attempt,
+                        }
+                    }
                 });
             }
             // ---- data sub-round ----
@@ -380,6 +387,7 @@ impl FaultyNet {
                     continue;
                 }
                 if !is_copy && attempt > 0 {
+                    flight::record_here(EventKind::NetRetry, f.to as u64);
                     self.extra.retries += 1;
                 }
                 if self.chance(self.plan.drop) {
@@ -429,6 +437,7 @@ impl FaultyNet {
                     continue;
                 }
                 if f.delivered {
+                    flight::record_here(EventKind::NetRedelivery, f.to as u64);
                     self.extra.redeliveries += 1;
                 } else {
                     f.delivered = true;

@@ -52,27 +52,30 @@ impl LatencyHistogram {
         Self::default()
     }
 
-    /// Record one sample.
+    /// Record one sample. Counters saturate instead of wrapping, so a
+    /// histogram that has been fed astronomically many samples degrades to
+    /// pinned counts rather than corrupting its quantiles.
     pub fn record(&mut self, v: u64) {
         let idx = bucket_index(v);
         if self.buckets.len() <= idx {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += 1;
-        self.count += 1;
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
-    /// Fold another histogram into this one (lossless).
+    /// Fold another histogram into this one (lossless until counters
+    /// saturate, at which point they pin at `u64::MAX`).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         if self.buckets.len() < other.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
         }
         for (i, &c) in other.buckets.iter().enumerate() {
-            self.buckets[i] += c;
+            self.buckets[i] = self.buckets[i].saturating_add(c);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }

@@ -39,11 +39,13 @@
 
 pub mod bounds;
 pub mod calib;
+pub mod flight;
 pub mod json;
 pub mod latency;
 pub mod recorder;
 pub mod span;
 
+pub use flight::TraceId;
 pub use latency::LatencyHistogram;
 pub use recorder::{Record, Recorder, Registry, Telemetry};
-pub use span::{enabled, span, take_spans, SpanGuard, SpanStat};
+pub use span::{enabled, span, take_all_spans, take_spans, SpanGuard, SpanStat};

@@ -11,9 +11,13 @@
 //!
 //! With the feature **off**, [`span`] returns a zero-sized guard with no
 //! `Drop` logic — the call inlines to nothing, which is what keeps the
-//! `cargo bench` hot loops unaffected. With the feature **on**, every closed
-//! span is folded into a process-global aggregation table keyed by full path
-//! (`count`, total `nanos`), drained by [`take_spans`].
+//! `cargo bench` hot loops unaffected. With the feature **on**, every
+//! closed span folds into a *per-thread* aggregation table keyed by full
+//! path (`count`, total `nanos`): threads never contend on a shared sink.
+//! [`take_spans`] drains only the calling thread's table (the right scope
+//! for a single-threaded trace harness); [`take_all_spans`] drains every
+//! thread's table — including threads that have already exited — and
+//! merges rows by path, which is what a parallel workload wants.
 
 /// Aggregated statistics for one span path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,14 +38,40 @@ pub const PATH_SEP: char = ';';
 mod imp {
     use super::SpanStat;
     use std::cell::RefCell;
-    use std::sync::Mutex;
+    use std::sync::{Arc, Mutex, OnceLock};
     use std::time::Instant;
+
+    type Sink = Arc<Mutex<Vec<SpanStat>>>;
 
     thread_local! {
         static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        // The thread's own aggregation table. The registry holds a second
+        // Arc, so rows written by a thread that has since exited are still
+        // reachable from `take_all_spans`.
+        static SINK: Sink = {
+            let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+            registry()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&sink));
+            sink
+        };
     }
 
-    static SINK: Mutex<Vec<SpanStat>> = Mutex::new(Vec::new());
+    fn registry() -> &'static Mutex<Vec<Sink>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Sink>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn fold(rows: &mut Vec<SpanStat>, path: String, count: u64, nanos: u64) {
+        match rows.iter_mut().find(|r| r.path == path) {
+            Some(r) => {
+                r.count += count;
+                r.nanos += nanos;
+            }
+            None => rows.push(SpanStat { path, count, nanos }),
+        }
+    }
 
     /// Live guard for one open span (telemetry build).
     #[must_use = "a span closes when its guard drops"]
@@ -67,24 +97,38 @@ mod imp {
                 st.pop();
                 path
             });
-            let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
-            match sink.iter_mut().find(|r| r.path == path) {
-                Some(r) => {
-                    r.count += 1;
-                    r.nanos += nanos;
-                }
-                None => sink.push(SpanStat {
-                    path,
-                    count: 1,
-                    nanos,
-                }),
-            }
+            SINK.with(|sink| {
+                let mut rows = sink.lock().unwrap_or_else(|e| e.into_inner());
+                fold(&mut rows, path, 1, nanos);
+            });
         }
     }
 
-    /// Drain every aggregated span recorded so far (first-closed order).
+    /// Drain the spans recorded *by the calling thread* (first-closed
+    /// order). Spans closed on other threads are untouched — use
+    /// [`take_all_spans`] to aggregate across threads.
     pub fn take_spans() -> Vec<SpanStat> {
-        std::mem::take(&mut *SINK.lock().unwrap_or_else(|e| e.into_inner()))
+        SINK.with(|sink| std::mem::take(&mut *sink.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Drain every thread's spans (including threads that already exited)
+    /// and merge rows with equal paths. Row order follows registration
+    /// order of the recording threads, then first-closed order within one.
+    pub fn take_all_spans() -> Vec<SpanStat> {
+        let sinks: Vec<Sink> = registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect();
+        let mut out: Vec<SpanStat> = Vec::new();
+        for sink in sinks {
+            let rows = std::mem::take(&mut *sink.lock().unwrap_or_else(|e| e.into_inner()));
+            for r in rows {
+                fold(&mut out, r.path, r.count, r.nanos);
+            }
+        }
+        out
     }
 
     /// Whether span recording is compiled in.
@@ -112,20 +156,26 @@ mod imp {
         Vec::new()
     }
 
+    /// No spans are ever recorded in this build, on any thread.
+    pub fn take_all_spans() -> Vec<SpanStat> {
+        Vec::new()
+    }
+
     /// Whether span recording is compiled in.
     pub const fn enabled() -> bool {
         false
     }
 }
 
-pub use imp::{enabled, span, take_spans, SpanGuard};
+pub use imp::{enabled, span, take_all_spans, take_spans, SpanGuard};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // The sink is process-global and `take_spans` drains it, so everything
-    // exercising it lives in one test (unit tests run concurrently).
+    // The sinks are process-global and the `take_*` calls drain them, so
+    // everything exercising them lives in one test (unit tests run
+    // concurrently).
     #[test]
     fn nesting_aggregation_and_noop_build() {
         let g = span("nesting-outer");
@@ -135,6 +185,14 @@ mod tests {
         for _ in 0..3 {
             let _g = span("agg-test");
         }
+        // A span closed on another thread must NOT surface in this
+        // thread's `take_spans`, only in `take_all_spans` — even after the
+        // recording thread has exited.
+        std::thread::spawn(|| {
+            let _g = span("other-thread");
+        })
+        .join()
+        .expect("span thread");
         let spans = take_spans();
         if enabled() {
             let inner = spans.iter().find(|r| r.path.contains("nesting-inner"));
@@ -145,8 +203,31 @@ mod tests {
             assert!(spans.iter().any(|r| r.path == "nesting-outer"));
             let agg = spans.iter().find(|r| r.path == "agg-test").expect("agg");
             assert_eq!(agg.count, 3);
+            assert!(
+                !spans.iter().any(|r| r.path == "other-thread"),
+                "take_spans must stay calling-thread-local"
+            );
+            let all = take_all_spans();
+            let other = all.iter().find(|r| r.path == "other-thread");
+            assert_eq!(other.map(|r| r.count), Some(1));
+            // Own-thread rows were already drained above; a second drain of
+            // everything is empty.
+            assert!(take_all_spans().is_empty());
         } else {
             assert!(spans.is_empty());
         }
+    }
+
+    // The compiled-out path must be literally free: a zero-sized guard
+    // with nothing to drop, and drains that always come back empty.
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn compiled_out_path_is_zero_cost() {
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        assert!(!std::mem::needs_drop::<SpanGuard>());
+        assert!(!enabled());
+        let _g = span("never-recorded");
+        assert!(take_spans().is_empty());
+        assert!(take_all_spans().is_empty());
     }
 }

@@ -1,0 +1,126 @@
+//! Edge-case and property coverage for `obs::LatencyHistogram`: empty and
+//! single-sample quantiles, saturating counter overflow, and merge
+//! associativity / recording-equivalence under arbitrary sample splits.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure mode
+
+use obs::LatencyHistogram;
+use proptest::prelude::*;
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0, "empty histogram must report 0 at q={q}");
+    }
+}
+
+#[test]
+fn single_sample_dominates_every_quantile() {
+    for v in [0u64, 1, 15, 16, 17, 1_000_000, u64::MAX] {
+        let mut h = LatencyHistogram::new();
+        h.record(v);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), v);
+        assert_eq!(h.mean(), v);
+        for q in [0.0, 0.5, 1.0] {
+            let got = h.quantile(q);
+            assert!(got <= v, "quantile above the only sample ({got} > {v})");
+            // Bucket lower bounds under-report by at most one sub-bucket
+            // (6.25%).
+            assert!(got >= v - (v >> 4), "quantile too far below {v}: {got}");
+        }
+    }
+}
+
+#[test]
+fn counters_saturate_instead_of_wrapping() {
+    // Doubling a histogram by self-merge 64 times drives every counter
+    // past u64::MAX; saturation must pin them, not wrap to small values.
+    let mut h = LatencyHistogram::new();
+    h.record(100);
+    h.record(u64::MAX); // sum saturates immediately
+    for _ in 0..64 {
+        let snapshot = h.clone();
+        h.merge(&snapshot);
+    }
+    assert_eq!(h.count(), u64::MAX, "count must pin at u64::MAX");
+    assert_eq!(h.max(), u64::MAX);
+    assert!(h.mean() >= 1, "saturated mean stays sane");
+    assert!(
+        h.quantile(0.99) > 0,
+        "quantiles remain usable after saturation"
+    );
+
+    // Same overflow path through `record` on an already-pinned histogram.
+    h.record(100);
+    assert_eq!(h.count(), u64::MAX, "record must also saturate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-thread histograms is equivalent to recording every
+    /// sample into one histogram, regardless of how samples are split.
+    #[test]
+    fn merge_matches_combined_recording(
+        samples in proptest::collection::vec((0u64..1 << 48, 0usize..3), 0..200),
+    ) {
+        let mut parts = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        let mut whole = LatencyHistogram::new();
+        for &(v, part) in &samples {
+            parts[part].record(v);
+            whole.record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.mean(), whole.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1 << 40, 0..80),
+        ys in proptest::collection::vec(0u64..1 << 40, 0..80),
+        zs in proptest::collection::vec(0u64..1 << 40, 0..80),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert_eq!(left.mean(), right.mean());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+    }
+}

@@ -11,6 +11,9 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use obs::flight;
+use obs::TraceId;
+
 use crate::service::QueueId;
 use crate::ServiceError;
 
@@ -69,6 +72,19 @@ impl Request {
             | Request::Len { queue } => *queue,
         }
     }
+
+    /// Stable numeric operation code, used as the argument word of the
+    /// flight recorder's `op_begin`/`op_end` events.
+    pub fn op_code(&self) -> u64 {
+        match self {
+            Request::Insert { .. } => 1,
+            Request::MultiInsert { .. } => 2,
+            Request::ExtractMin { .. } => 3,
+            Request::ExtractK { .. } => 4,
+            Request::PeekMin { .. } => 5,
+            Request::Len { .. } => 6,
+        }
+    }
 }
 
 /// The result published back through an [`OpSlot`].
@@ -87,16 +103,53 @@ pub enum Response {
 }
 
 /// One-shot completion cell a client blocks on while the combiner works.
-#[derive(Debug, Default)]
+///
+/// The slot also carries the operation's flight-recorder identity: the
+/// [`TraceId`] captured from the depositing thread's ambient scope (so the
+/// combiner — a different thread — tags its events with the op's trace) and
+/// the deposit timestamp on the recorder's clock (so the combiner can charge
+/// queueing + execution latency to the shard's histogram at fill time, and
+/// so latency samples line up with flight-event timestamps).
+#[derive(Debug)]
 pub struct OpSlot {
     result: Mutex<Option<Response>>,
     ready: Condvar,
+    trace: TraceId,
+    deposited_nanos: u64,
+}
+
+impl Default for OpSlot {
+    fn default() -> Self {
+        OpSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            trace: flight::current(),
+            deposited_nanos: flight::now_nanos(),
+        }
+    }
 }
 
 impl OpSlot {
-    /// A fresh, unfilled slot.
+    /// A fresh, unfilled slot stamped with the caller's ambient trace.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// The trace this operation belongs to ([`TraceId::NONE`] if the
+    /// depositor had no ambient scope).
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// When the slot was deposited, on the [`flight::now_nanos`] clock.
+    pub fn deposited_nanos(&self) -> u64 {
+        self.deposited_nanos
+    }
+
+    /// Nanoseconds between deposit and `now` (a [`flight::now_nanos`]
+    /// reading the caller already took; saturates to zero if clocks skew).
+    pub fn age_nanos_at(&self, now: u64) -> u64 {
+        now.saturating_sub(self.deposited_nanos)
     }
 
     /// Publish the result and wake the waiter. Filling twice is a combiner

@@ -30,10 +30,12 @@ pub mod batch;
 pub mod metrics;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 
 pub use batch::{Request, Response};
 pub use metrics::ShardStats;
 pub use service::{QueueId, QueueService, ServiceBuilder, Ticket};
+pub use snapshot::{ServiceSnapshot, ShardSnapshot};
 
 /// Why the service refused an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -42,6 +42,12 @@ pub struct ShardStats {
     pub queues_created: u64,
     /// Queues destroyed (or consumed by meld) on this shard.
     pub queues_destroyed: u64,
+    /// Combiner sessions that served at least one batch (one lock tenure
+    /// may drain several batches; this counts tenures, not drains).
+    pub combines: u64,
+    /// Total wall-clock nanoseconds spent inside working combiner
+    /// sessions. `combine_ns / combines` is the mean combiner occupancy.
+    pub combine_ns: u64,
 }
 
 impl Recorder for ShardStats {
@@ -64,6 +70,8 @@ impl Recorder for ShardStats {
             ("stale_ops", self.stale_ops),
             ("queues_created", self.queues_created),
             ("queues_destroyed", self.queues_destroyed),
+            ("combines", self.combines),
+            ("combine_ns", self.combine_ns),
         ]
     }
 }

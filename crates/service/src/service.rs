@@ -5,11 +5,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use meldpq::{ArenaStats, Engine};
+use obs::flight::{self, EventKind};
 use obs::Registry;
 
 use crate::batch::{OpSlot, Request, Response};
 use crate::metrics::ShardStats;
 use crate::shard::{Shard, ShardState};
+use crate::snapshot::{ServiceSnapshot, ShardSnapshot};
 use crate::ServiceError;
 
 /// How long a waiter parks between attempts to steal the combiner role.
@@ -132,15 +134,34 @@ impl Ticket {
     /// slice they retry becoming the combiner themselves, so progress never
     /// depends on any other thread surviving.
     pub fn wait(self) -> Response {
-        loop {
+        let mut parked = false;
+        let r = loop {
             if let Some(r) = self.slot.try_take() {
-                return r;
+                break r;
             }
             self.shard.try_combine();
-            if let Some(r) = self.slot.wait_for(WAIT_SLICE) {
-                return r;
+            if !parked {
+                // First time this waiter actually blocks (it lost the
+                // combiner race); recorded once, not per wait slice.
+                parked = true;
+                flight::record(
+                    self.slot.trace(),
+                    EventKind::TicketPark,
+                    self.shard.index() as u64,
+                );
             }
+            if let Some(r) = self.slot.wait_for(WAIT_SLICE) {
+                break r;
+            }
+        };
+        if parked {
+            flight::record(
+                self.slot.trace(),
+                EventKind::TicketUnpark,
+                self.shard.index() as u64,
+            );
         }
+        r
     }
 }
 
@@ -237,6 +258,11 @@ impl QueueService {
 
     fn submit(&self, id: QueueId, req: Request) -> Result<Ticket, ServiceError> {
         let shard = self.shard(id)?;
+        // Mint (or adopt) the op's trace before depositing: the slot
+        // captures the ambient trace, so the combiner thread tags this
+        // op's events with it.
+        let (trace, _scope) = flight::ambient_or_new();
+        flight::record(trace, EventKind::OpBegin, req.op_code());
         Ok(Ticket {
             slot: shard.submit(req),
             shard: Arc::clone(shard),
@@ -253,6 +279,8 @@ impl QueueService {
     pub fn enqueue(&self, req: Request) -> Result<Ticket, ServiceError> {
         let id = req.queue();
         let shard = self.shard(id)?;
+        let (trace, _scope) = flight::ambient_or_new();
+        flight::record(trace, EventKind::OpBegin, req.op_code());
         Ok(Ticket {
             slot: shard.enqueue(req),
             shard: Arc::clone(shard),
@@ -268,7 +296,16 @@ impl QueueService {
 
     fn execute(&self, id: QueueId, req: Request) -> Result<Response, ServiceError> {
         let shard = self.shard(id)?;
-        if let Some(resp) = shard.execute_now(&req) {
+        let (trace, _scope) = flight::ambient_or_new();
+        // One clock read stamps op_begin AND starts the latency sample; the
+        // fast path hands back its post-execution reading so op_end costs no
+        // clock read either.
+        let begun = flight::now_nanos();
+        flight::record_at(begun, trace, EventKind::OpBegin, req.op_code());
+        if let Some((resp, end)) = shard.execute_now(&req, begun) {
+            // Fast path: no slot exists, so the combiner can't close the
+            // trace — this thread was the combiner.
+            flight::record_at(end, trace, EventKind::OpEnd, req.op_code());
             return Ok(resp);
         }
         let ticket = Ticket {
@@ -410,19 +447,47 @@ impl QueueService {
         self.shards[shard].lock_state().stats
     }
 
+    /// Live introspection: a point-in-time view of every shard — queue and
+    /// key counts, ingress backlog, combiner occupancy, stale-op counts and
+    /// the latency histogram. Deliberately does **not** combine pending
+    /// batches: serving the backlog here would destroy the very state a
+    /// monitor polls this method to observe. Safe to call concurrently
+    /// with live traffic.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                // Read the backlog before taking the state lock: depth is
+                // what's waiting *while someone else combines*.
+                let ingress_depth = s.ingress_depth();
+                let st = s.peek_state();
+                ShardSnapshot {
+                    shard: s.index(),
+                    live_queues: st.queues.iter().flatten().count(),
+                    total_keys: st.queues.iter().flatten().map(|q| q.heap.len()).sum(),
+                    ingress_depth,
+                    stats: st.stats,
+                    latency: st.latency.clone(),
+                }
+            })
+            .collect();
+        ServiceSnapshot { shards }
+    }
+
     /// Snapshot one shard's arena counters (`allocs`/`copies` — the
     /// zero-copy proof surface).
     pub fn arena_stats(&self, shard: usize) -> ArenaStats {
         self.shards[shard].lock_state().pool.stats()
     }
 
-    /// Record every shard's counters into an [`obs::Registry`] under
-    /// `service/shard<i>`.
+    /// Record every shard's counters *and* latency histogram into an
+    /// [`obs::Registry`]: `service.shard` rows under `service/shard<i>`,
+    /// `latency.histogram` rows under `service/shard<i>/latency`. Pending
+    /// batches are served first so the registry reflects a quiesced state.
     pub fn record_into(&self, reg: &mut Registry) {
-        for (i, s) in self.shards.iter().enumerate() {
-            let stats = s.lock_state().stats;
-            reg.record(&format!("service/shard{i}"), &stats);
-        }
+        self.flush();
+        self.snapshot().record_into(reg);
     }
 
     /// Deep structural validation of every live queue on every shard.
@@ -523,10 +588,70 @@ mod tests {
         svc.multi_insert(q, (0..64).collect()).unwrap();
         let mut reg = Registry::new();
         svc.record_into(&mut reg);
-        assert_eq!(reg.records().len(), 1);
+        assert_eq!(reg.records().len(), 2, "stats + latency per shard");
         assert_eq!(reg.records()[0].family, "service.shard");
+        assert_eq!(reg.records()[1].family, "latency.histogram");
+        assert!(
+            reg.records()[1]
+                .fields
+                .iter()
+                .any(|(k, v)| k == "count" && *v >= 1),
+            "served requests appear in the latency histogram"
+        );
         let arena = svc.arena_stats(0);
         assert_eq!(arena.allocs, 64);
         assert_eq!(arena.copies, 0, "bulk insert path must be zero-copy");
+    }
+
+    #[test]
+    fn snapshot_observes_backlog_without_serving_it() {
+        let svc = ServiceBuilder::new().shards(2).build();
+        let q = svc.create_queue(); // shard 0
+        svc.insert(q, 3).unwrap();
+        // Deposit without combining: the pipelined enqueue leaves the
+        // request in the Waiting buffer.
+        let t = svc
+            .enqueue(Request::Insert { queue: q, key: 9 })
+            .expect("enqueue");
+        let snap = svc.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].live_queues, 1);
+        assert_eq!(snap.shards[0].total_keys, 1);
+        assert_eq!(
+            snap.shards[0].ingress_depth, 1,
+            "snapshot must not combine the pending batch away"
+        );
+        assert_eq!(snap.total_backlog(), 1);
+        assert_eq!(t.wait(), Response::Done);
+        let snap = svc.snapshot();
+        assert_eq!(snap.total_backlog(), 0);
+        assert_eq!(snap.shards[0].total_keys, 2);
+        assert!(
+            snap.shards[0].stats.combines >= 1,
+            "serving the deposited batch counts a combiner session"
+        );
+        assert!(snap.latency().count() >= 2);
+    }
+
+    #[test]
+    fn flight_trace_links_begin_to_end() {
+        let svc = ServiceBuilder::new().shards(1).build();
+        let q = svc.create_queue();
+        let t = obs::TraceId::next();
+        {
+            let _scope = flight::trace_scope(t);
+            svc.insert(q, 42).unwrap();
+        }
+        let line = flight::trace_timeline(&flight::snapshot(), t);
+        assert!(
+            line.iter()
+                .any(|e| e.kind == EventKind::OpBegin && e.arg == 1),
+            "insert op_begin under the caller's trace: {line:?}"
+        );
+        assert!(
+            line.iter()
+                .any(|e| e.kind == EventKind::OpEnd && e.arg == 1),
+            "insert op_end under the caller's trace: {line:?}"
+        );
     }
 }

@@ -22,9 +22,12 @@
 //! sequential execution in that order would observe.
 
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use meldpq::pool::PooledHeap;
 use meldpq::{Engine, HeapPool};
+use obs::flight::{self, EventKind};
+use obs::LatencyHistogram;
 
 use crate::batch::{Ingress, OpSlot, Request, Response};
 use crate::metrics::ShardStats;
@@ -48,6 +51,9 @@ pub(crate) struct ShardState {
     /// Reusable slots with the generation their next occupant gets.
     free_slots: Vec<(u32, u32)>,
     pub(crate) stats: ShardStats,
+    /// Deposit-to-publish latency of every request served on this shard
+    /// (fast-path ops charge their inline execution time).
+    pub(crate) latency: LatencyHistogram,
     /// Coalesced insert batches at or above this size go through the bulk
     /// slab builder instead of one-by-one ripple inserts.
     bulk_threshold: usize,
@@ -100,6 +106,7 @@ impl Shard {
                 queues: Vec::new(),
                 free_slots: Vec::new(),
                 stats: ShardStats::default(),
+                latency: LatencyHistogram::new(),
                 bulk_threshold: bulk_threshold.max(2),
             }),
         })
@@ -129,10 +136,20 @@ impl Shard {
     /// no parking. Returns `None` when another thread holds the lock (the
     /// caller should deposit and wait instead, which is exactly the
     /// contended case admission batching exists for).
-    pub(crate) fn execute_now(&self, req: &Request) -> Option<Response> {
+    ///
+    /// `begun` is the caller's [`flight::now_nanos`] reading from the op's
+    /// ingress; the returned timestamp is taken after execution, so the
+    /// caller can stamp its `op_end` event without another clock read. The
+    /// latency charged to the shard's histogram spans `begun..end` —
+    /// end-to-end as the client saw it, including any pending batch this
+    /// thread served first.
+    pub(crate) fn execute_now(&self, req: &Request, begun: u64) -> Option<(Response, u64)> {
         let mut st = self.state.try_lock().ok()?;
         self.combine_locked(&mut st);
-        Some(execute_single(&mut st, req))
+        let resp = execute_single(&mut st, req);
+        let end = flight::now_nanos();
+        st.latency.record(end.saturating_sub(begun));
+        Some((resp, end))
     }
 
     /// Become the combiner if the state lock is free; never blocks.
@@ -147,12 +164,25 @@ impl Shard {
     /// Drain-and-execute until the ingress is empty. Caller holds the lock.
     pub(crate) fn combine_locked(&self, st: &mut ShardState) -> bool {
         let mut did = false;
+        let start = Instant::now();
         loop {
             let batch = self.ingress.drain();
             if batch.is_empty() {
+                if did {
+                    st.stats.combines += 1;
+                    st.stats.combine_ns = st
+                        .stats
+                        .combine_ns
+                        .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(0));
+                }
                 return did;
             }
+            if !did {
+                // This thread just became the combiner with work pending.
+                flight::record_here(EventKind::CombinerHandoff, self.index as u64);
+            }
             did = true;
+            flight::record_here(EventKind::BatchFlush, batch.len() as u64);
             execute_batch(st, batch);
         }
     }
@@ -162,6 +192,18 @@ impl Shard {
         let mut st = self.state.lock().expect("shard state poisoned");
         self.combine_locked(&mut st);
         st
+    }
+
+    /// Blocking-lock the state *without* combining — the introspection
+    /// path. Serving pending batches here would perturb exactly what a
+    /// snapshot wants to observe (ingress backlog, combiner behaviour).
+    pub(crate) fn peek_state(&self) -> MutexGuard<'_, ShardState> {
+        self.state.lock().expect("shard state poisoned")
+    }
+
+    /// Requests currently waiting in this shard's ingress buffer.
+    pub(crate) fn ingress_depth(&self) -> usize {
+        self.ingress.depth()
     }
 
     /// Create a queue on this shard and hand back its (current-generation)
@@ -238,6 +280,7 @@ fn execute_single(st: &mut ShardState, req: &Request) -> Response {
         }
         Request::MultiInsert { keys, .. } => {
             if keys.len() >= bulk_threshold {
+                flight::record_here(EventKind::BulkAdmission, keys.len() as u64);
                 let built = pool.from_keys_parallel(keys);
                 pool.meld(&mut q.heap, built);
                 stats.bulk_builds += 1;
@@ -254,6 +297,7 @@ fn execute_single(st: &mut ShardState, req: &Request) -> Response {
         Request::ExtractK { k, .. } => {
             let out = pool.multi_extract_min(&mut q.heap, *k);
             if *k >= 2 {
+                flight::record_here(EventKind::MultiExtract, out.len() as u64);
                 stats.multi_extracts += 1;
                 stats.coalesced_pops += out.len() as u64;
             }
@@ -271,6 +315,7 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         pool,
         queues,
         stats,
+        latency,
         ..
     } = st;
     let Some(q) = queues
@@ -279,7 +324,10 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         .filter(|q| q.gen == qid.generation())
     else {
         stats.stale_ops += ops.len() as u64;
-        for (_, slot) in ops {
+        for (req, slot) in ops {
+            let now = flight::now_nanos();
+            latency.record(slot.age_nanos_at(now));
+            flight::record_at(now, slot.trace(), EventKind::OpEnd, req.op_code());
             slot.fill(Response::Err(ServiceError::UnknownQueue(qid)));
         }
         return;
@@ -298,7 +346,16 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
             Request::PeekMin { .. } | Request::Len { .. } => {}
         }
     }
+    // The flight events of a coalesced phase are charged to the first
+    // participating op's trace: the phase exists because that op's batch
+    // did, and a timeline filtered on any participant still shows when
+    // its batch's kernels ran.
+    let group_trace = ops
+        .first()
+        .map(|(_, slot)| slot.trace())
+        .unwrap_or(obs::TraceId::NONE);
     if keys.len() >= bulk_threshold {
+        flight::record(group_trace, EventKind::BulkAdmission, keys.len() as u64);
         let built = pool.from_keys_parallel(&keys);
         pool.meld(&mut q.heap, built);
         stats.bulk_builds += 1;
@@ -317,6 +374,7 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         Vec::new()
     };
     if demand >= 2 {
+        flight::record(group_trace, EventKind::MultiExtract, pulled.len() as u64);
         stats.multi_extracts += 1;
         stats.coalesced_pops += pulled.len() as u64;
     }
@@ -346,6 +404,9 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
             }),
             Request::Len { .. } => Response::Len(q.heap.len() + (pulled.len() - j)),
         };
+        let now = flight::now_nanos();
+        latency.record(slot.age_nanos_at(now));
+        flight::record_at(now, slot.trace(), EventKind::OpEnd, req.op_code());
         slot.fill(resp);
     }
 }

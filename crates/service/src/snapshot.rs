@@ -1,0 +1,229 @@
+//! Live introspection: a point-in-time view of every shard, cheap enough
+//! to poll while the service is under load.
+//!
+//! [`crate::QueueService::snapshot`] observes without perturbing: ingress
+//! depths are read *before* the shard locks are taken, and the state lock
+//! is taken without combining (a snapshot that served pending batches
+//! would destroy the backlog it set out to measure). The result renders
+//! as JSON ([`ServiceSnapshot::to_json`], consumed by the `pqtop` binary)
+//! or as a text table ([`ServiceSnapshot::render`]).
+
+use obs::json::J;
+use obs::{LatencyHistogram, Recorder, Registry};
+
+use crate::metrics::ShardStats;
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// The shard's index in the service's shard map.
+    pub shard: u16,
+    /// Live (not destroyed/melded-away) queues on the shard.
+    pub live_queues: usize,
+    /// Total keys across the shard's live queues.
+    pub total_keys: usize,
+    /// Requests waiting in the ingress buffer at observation time.
+    pub ingress_depth: usize,
+    /// Cumulative batching/combining counters.
+    pub stats: ShardStats,
+    /// Deposit-to-publish latency of every request served so far.
+    pub latency: LatencyHistogram,
+}
+
+impl ShardSnapshot {
+    /// Mean nanoseconds one working combiner session keeps the shard lock.
+    pub fn combiner_occupancy_ns(&self) -> u64 {
+        self.stats
+            .combine_ns
+            .checked_div(self.stats.combines)
+            .unwrap_or(0)
+    }
+}
+
+/// Point-in-time view of the whole service (one entry per shard).
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Per-shard views, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Requests waiting across all shards.
+    pub fn total_backlog(&self) -> usize {
+        self.shards.iter().map(|s| s.ingress_depth).sum()
+    }
+
+    /// Keys held across all shards.
+    pub fn total_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.total_keys).sum()
+    }
+
+    /// Latency across all shards (merged histograms).
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for s in &self.shards {
+            merged.merge(&s.latency);
+        }
+        merged
+    }
+
+    /// Record every shard's counters and latency histogram into `reg`
+    /// (families `service.shard` under `service/shard<i>`, and
+    /// `latency.histogram` under `service/shard<i>/latency`).
+    pub fn record_into(&self, reg: &mut Registry) {
+        for s in &self.shards {
+            reg.record(&format!("service/shard{}", s.shard), &s.stats);
+            reg.record(&format!("service/shard{}/latency", s.shard), &s.latency);
+        }
+    }
+
+    /// The snapshot as a JSON document.
+    pub fn to_json(&self) -> J {
+        J::obj([
+            ("report", J::Str("service_snapshot".into())),
+            (
+                "shards",
+                J::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            let fields = |r: &dyn Recorder| {
+                                J::Obj(
+                                    r.fields()
+                                        .into_iter()
+                                        .map(|(k, v)| (k.to_string(), J::UInt(v)))
+                                        .collect(),
+                                )
+                            };
+                            J::obj([
+                                ("shard", J::UInt(s.shard as u64)),
+                                ("live_queues", J::UInt(s.live_queues as u64)),
+                                ("total_keys", J::UInt(s.total_keys as u64)),
+                                ("ingress_depth", J::UInt(s.ingress_depth as u64)),
+                                ("combiner_occupancy_ns", J::UInt(s.combiner_occupancy_ns())),
+                                ("stats", fields(&s.stats)),
+                                ("latency", fields(&s.latency)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The snapshot as an aligned text table, one row per shard plus a
+    /// totals row — what `pqtop` refreshes on screen.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "shard  queues      keys  backlog  batches  combines  occ_us   p50_us   p99_us    stale\n",
+        );
+        let us = |ns: u64| ns / 1_000;
+        for s in &self.shards {
+            out.push_str(&format!(
+                "{:>5}  {:>6}  {:>8}  {:>7}  {:>7}  {:>8}  {:>6}  {:>7}  {:>7}  {:>7}\n",
+                s.shard,
+                s.live_queues,
+                s.total_keys,
+                s.ingress_depth,
+                s.stats.batches,
+                s.stats.combines,
+                us(s.combiner_occupancy_ns()),
+                us(s.latency.quantile(0.50)),
+                us(s.latency.quantile(0.99)),
+                s.stats.stale_ops,
+            ));
+        }
+        let all = self.latency();
+        out.push_str(&format!(
+            "total  {:>6}  {:>8}  {:>7}  ops={} p50={}us p99={}us max={}us\n",
+            self.shards.iter().map(|s| s.live_queues).sum::<usize>(),
+            self.total_keys(),
+            self.total_backlog(),
+            all.count(),
+            us(all.quantile(0.50)),
+            us(all.quantile(0.99)),
+            us(all.max()),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceSnapshot {
+        let mut latency = LatencyHistogram::new();
+        for v in [1_000u64, 2_000, 50_000] {
+            latency.record(v);
+        }
+        ServiceSnapshot {
+            shards: vec![
+                ShardSnapshot {
+                    shard: 0,
+                    live_queues: 2,
+                    total_keys: 100,
+                    ingress_depth: 3,
+                    stats: ShardStats {
+                        batches: 5,
+                        combines: 4,
+                        combine_ns: 8_000,
+                        ..Default::default()
+                    },
+                    latency,
+                },
+                ShardSnapshot {
+                    shard: 1,
+                    live_queues: 0,
+                    total_keys: 0,
+                    ingress_depth: 0,
+                    stats: ShardStats::default(),
+                    latency: LatencyHistogram::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_occupancy_and_render() {
+        let snap = sample();
+        assert_eq!(snap.total_backlog(), 3);
+        assert_eq!(snap.total_keys(), 100);
+        assert_eq!(snap.shards[0].combiner_occupancy_ns(), 2_000);
+        assert_eq!(snap.shards[1].combiner_occupancy_ns(), 0, "no div-by-zero");
+        assert_eq!(snap.latency().count(), 3);
+        let table = snap.render();
+        assert_eq!(table.lines().count(), 4, "header + 2 shards + totals");
+        assert!(table.contains("backlog"));
+    }
+
+    #[test]
+    fn json_and_registry_views_agree() {
+        let snap = sample();
+        let doc = snap.to_json();
+        let parsed = J::parse(&doc.to_string()).expect("snapshot JSON parses");
+        let shards = parsed.get("shards").and_then(J::as_arr).expect("shards");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards[0].get("ingress_depth"),
+            Some(&J::UInt(3)),
+            "backlog survives the JSON round trip"
+        );
+        assert_eq!(
+            shards[0].get("combiner_occupancy_ns"),
+            Some(&J::UInt(2_000))
+        );
+
+        let mut reg = Registry::new();
+        snap.record_into(&mut reg);
+        let recs = reg.records();
+        assert_eq!(recs.len(), 4, "stats + latency per shard");
+        let lat = recs
+            .iter()
+            .find(|r| r.label == "service/shard0/latency")
+            .expect("latency family present");
+        assert_eq!(lat.family, "latency.histogram");
+        assert!(lat.fields.iter().any(|(k, v)| k == "count" && *v == 3));
+    }
+}

@@ -120,10 +120,21 @@ fn concurrent_multiset_conservation() {
         .flat_map(|t| (0..keys_per_producer).map(move |i| (t << 32) | i))
         .collect();
     want.sort_unstable();
-    assert_eq!(
-        got, want,
-        "multiset conservation across {producers}p/{consumers}c"
-    );
+    if got != want {
+        // Conservation broke somewhere in the combiner/batch machinery:
+        // drain the flight recorder so the panic carries the ops the
+        // combiners were serving when keys went missing (full dump for the
+        // CI artifact, tail inline for the log).
+        obs::flight::dump(std::path::Path::new("target/service-stress-flight.json"));
+        panic!(
+            "multiset conservation broken across {producers}p/{consumers}c: \
+             got {} keys, want {} (full flight dump in target/service-stress-flight.json)\n\
+             last flight events:\n{}",
+            got.len(),
+            want.len(),
+            obs::flight::render(&obs::flight::tail(64)),
+        );
+    }
     svc.validate().unwrap();
 }
 

@@ -15,10 +15,13 @@
 //!
 //! Plan count defaults to 256; the nightly chaos-soak job raises it via
 //! `SOAK_STEPS`. A failing plan's seed is written to
-//! `target/chaos-failing-seed.txt` so CI can upload it as an artifact.
+//! `target/chaos-failing-seed.txt` and the flight recorder is drained to
+//! `target/chaos-flight.json` so CI uploads both: the seed replays the run,
+//! the timeline shows what the transport was doing when it died.
 
 use dmpq::{DistributedPq, QueueError};
 use hypercube::{FailStop, FaultPlan, NetError, NetStats};
+use obs::flight::{self, EventKind};
 
 fn plan_count() -> u64 {
     std::env::var("SOAK_STEPS")
@@ -129,12 +132,17 @@ fn run_plan(seed: u64, q: usize, b: usize) -> Result<NetStats, QueueError> {
     Ok(stats)
 }
 
-fn record_failing_seed(seed: u64, why: &str) {
+/// Failure evidence: the seed (replays the run) plus the drained flight
+/// recorder (shows the transport's last moves). Returns the event tail so
+/// the panic message carries the timeline even if nobody fetches artifacts.
+fn record_failing_seed(seed: u64, why: &str) -> String {
     let _ = std::fs::create_dir_all("target");
     let _ = std::fs::write(
         "target/chaos-failing-seed.txt",
         format!("seed={seed}\nreason={why}\n"),
     );
+    flight::dump(std::path::Path::new("target/chaos-flight.json"));
+    flight::render(&flight::tail(32))
 }
 
 #[test]
@@ -148,7 +156,25 @@ fn chaos_fuzz_seeded_fault_plans_vs_oracle() {
     let mut any_rehomed = false;
     for seed in 0..n {
         let (_, kind) = plan_for(seed, q);
-        match run_plan(seed, q, b) {
+        // Oracle divergence panics inside run_plan; catch it so the flight
+        // recorder is drained before the test dies — the timeline of the
+        // ops leading into the divergence is the debugging evidence.
+        let outcome = match std::panic::catch_unwind(|| run_plan(seed, q, b)) {
+            Ok(r) => r,
+            Err(payload) => {
+                let why = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let tail = record_failing_seed(seed, &why);
+                panic!(
+                    "seed {seed} ({kind:?}) panicked: {why}\n\
+                     last flight events (full dump in target/chaos-flight.json):\n{tail}"
+                );
+            }
+        };
+        match outcome {
             Ok(stats) => {
                 survived += 1;
                 any_retries |= stats.retries > 0;
@@ -167,8 +193,11 @@ fn chaos_fuzz_seeded_fault_plans_vs_oracle() {
                     QueueError::Net(NetError::Dead { .. }) | QueueError::IoProcDead { .. }
                 );
                 if !fail_stop_plan || !clean {
-                    record_failing_seed(seed, &format!("{e}"));
-                    panic!("seed {seed} ({kind:?}) failed unexpectedly: {e}");
+                    let tail = record_failing_seed(seed, &format!("{e}"));
+                    panic!(
+                        "seed {seed} ({kind:?}) failed unexpectedly: {e}\n\
+                         last flight events (full dump in target/chaos-flight.json):\n{tail}"
+                    );
                 }
                 clean_failures += 1;
             }
@@ -188,6 +217,58 @@ fn chaos_fuzz_seeded_fault_plans_vs_oracle() {
     assert!(any_retries, "no plan exercised the retry path");
     assert!(any_redeliveries, "no plan exercised the dedup path");
     assert!(any_rehomed, "no plan exercised fail-stop rehoming");
+}
+
+#[test]
+fn bounded_fail_stop_yields_trace_linked_recovery_timeline() {
+    // A bounded fail-stop plan (seed % 8 == 5) kills a non-I/O node
+    // mid-workload: the op that hits the dead node retries against it,
+    // times out, and rehomes its queue slots — all inside that op's
+    // ambient trace scope. The flight recorder must therefore contain at
+    // least one trace whose timeline reads retry → rehome, which is
+    // exactly the causal chain a failure investigation walks.
+    let mut linked = None;
+    for seed in [5u64, 13, 21, 29] {
+        let (_, kind) = plan_for(seed, 2);
+        assert_eq!(
+            kind,
+            Kind::BoundedFailStop,
+            "seed {seed} selects the outage plan"
+        );
+        let _ = run_plan(seed, 2, 3); // bounded outages are survivable; ignore Err anyway
+        let events = flight::snapshot();
+        // Group this run's retry/rehome events by trace and look for a
+        // trace that saw both, with the retry first.
+        let traces: std::collections::BTreeSet<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::NetRehome && e.trace.is_traced())
+            .map(|e| e.trace)
+            .collect();
+        for t in traces {
+            let timeline = flight::trace_timeline(&events, t);
+            let first_retry = timeline
+                .iter()
+                .position(|e| matches!(e.kind, EventKind::NetRetry | EventKind::NetTimeout));
+            let rehome = timeline.iter().position(|e| e.kind == EventKind::NetRehome);
+            if let (Some(r), Some(h)) = (first_retry, rehome) {
+                if r < h {
+                    linked = Some((t, timeline));
+                    break;
+                }
+            }
+        }
+        if linked.is_some() {
+            break;
+        }
+    }
+    let (t, timeline) = linked.expect(
+        "no trace linked a retry/timeout to the rehoming it triggered — \
+         recovery events are no longer recorded under the op's trace",
+    );
+    assert!(
+        timeline.len() >= 2,
+        "trace {t} should hold the whole recovery sequence"
+    );
 }
 
 #[test]
