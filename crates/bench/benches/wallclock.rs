@@ -287,6 +287,33 @@ fn bench_flight(c: &mut Criterion, _full: bool) {
     group.finish();
 }
 
+/// The O(1) peek satellite: `min_root` now answers from the cached
+/// `NodeId` every mutator refreshes, vs the pre-cache behavior of
+/// rescanning the root list (still exposed as `min_root_scan`). Each iter
+/// is 1024 peeks so the ns-scale answers land above timer resolution.
+fn bench_peek(c: &mut Criterion, _full: bool) {
+    let mut group = c.benchmark_group("peek");
+    let n = PEEK_GATE_N;
+    let mut rng = workloads::rng(0x9EE4 ^ n as u64);
+    let keys = workloads::random_keys(&mut rng, n);
+    let h = ParBinomialHeap::from_keys_parallel(&keys);
+    group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                std::hint::black_box(std::hint::black_box(&h).min_root());
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("rescan", n), &n, |b, _| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                std::hint::black_box(std::hint::black_box(&h).min_root_scan());
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_scans(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefix_scan");
     for n in [1usize << 14, 1 << 20] {
@@ -386,6 +413,9 @@ const MIXED_GATE_N: usize = 1 << 14;
 const MIXED_BOUND: f64 = 1.2;
 /// Ops in the flight-recorder overhead workload.
 const FLIGHT_GATE_N: usize = 4096;
+/// Heap size for the peek-cache regression arm (2^18 keys ⇒ a root list
+/// long enough that a rescan visibly costs).
+const PEEK_GATE_N: usize = 1 << 18;
 /// The recorder-on arm may cost at most 1.1× the recorder-off arm.
 const FLIGHT_BOUND: f64 = 1.1;
 
@@ -414,6 +444,12 @@ fn gates() -> Vec<Gate> {
             fast: format!("mixed/rayon/{MIXED_GATE_N}"),
             slow: format!("mixed/seq/{MIXED_GATE_N}"),
             threshold: 1.0 / MIXED_BOUND,
+        },
+        Gate {
+            name: "peek_min_cache_speedup",
+            fast: format!("peek/cached/{PEEK_GATE_N}"),
+            slow: format!("peek/rescan/{PEEK_GATE_N}"),
+            threshold: 2.0,
         },
         Gate {
             name: "flight_recorder_overhead",
@@ -484,6 +520,7 @@ fn main() {
     bench_multi_extract(&mut c, full);
     bench_mixed(&mut c, full);
     bench_flight(&mut c, full);
+    bench_peek(&mut c, full);
     bench_scans(&mut c);
     bench_bulk_build(&mut c, full);
 

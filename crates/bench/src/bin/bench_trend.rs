@@ -12,8 +12,12 @@
 //! Gates present only on one side are reported but never fail the run
 //! (new gates appear, old ones retire — that is trend, not regression).
 //!
-//! Usage: `bench-trend <baseline.json> [fresh.json]`
-//! (fresh defaults to `reports/BENCH_wallclock.json`).
+//! Usage: `bench-trend <baseline.json> [fresh.json]
+//!                     [--shootout <baseline.json> [fresh.json]]`
+//! (fresh defaults to `reports/BENCH_wallclock.json`; the shootout fresh
+//! side defaults to `reports/BENCH_shootout.json`). The shootout gates use
+//! the same `name`/`ratio` shape — ratio = best/selected geomean per-op ns,
+//! higher is better — so one floor rule judges both documents.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -63,11 +67,47 @@ fn result_means(doc: &J) -> BTreeMap<String, f64> {
     out
 }
 
+/// Diff two gate maps under the floor rule. Returns true when any shared
+/// gate regressed past the tolerance; one-sided gates only inform.
+fn compare_gates(
+    label: &str,
+    base_gates: &BTreeMap<String, f64>,
+    fresh_gates: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> bool {
+    let mut failed = false;
+    for (name, base_ratio) in base_gates {
+        let Some(fresh_ratio) = fresh_gates.get(name) else {
+            println!("  {label} {name}: retired (absent from fresh report)");
+            continue;
+        };
+        let floor = base_ratio * (1.0 - tolerance);
+        let verdict = if *fresh_ratio < floor {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {label} {name}: ratio {base_ratio:.2} -> {fresh_ratio:.2} (floor {floor:.2}) {verdict}"
+        );
+    }
+    for name in fresh_gates.keys().filter(|n| !base_gates.contains_key(*n)) {
+        println!("  {label} {name}: new (absent from baseline)");
+    }
+    failed
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let baseline_path = args
-        .next()
-        .expect("usage: bench-trend <baseline.json> [fresh.json]");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (wallclock_args, shootout_args) = match raw.iter().position(|a| a == "--shootout") {
+        Some(i) => (&raw[..i], Some(&raw[i + 1..])),
+        None => (&raw[..], None),
+    };
+    let mut args = wallclock_args.iter().cloned();
+    let baseline_path = args.next().expect(
+        "usage: bench-trend <baseline.json> [fresh.json] [--shootout <baseline.json> [fresh.json]]",
+    );
     let fresh_path = args
         .next()
         .unwrap_or_else(|| "reports/BENCH_wallclock.json".to_string());
@@ -88,25 +128,28 @@ fn main() -> ExitCode {
     );
 
     println!("bench-trend: {baseline_path} -> {fresh_path} (tolerance {tol_pct:.0}%)");
-    let mut failed = false;
-    for (name, base_ratio) in &base_gates {
-        let Some(fresh_ratio) = fresh_gates.get(name) else {
-            println!("  gate {name}: retired (absent from fresh report)");
-            continue;
-        };
-        let floor = base_ratio * (1.0 - tolerance);
-        let verdict = if *fresh_ratio < floor {
-            failed = true;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!(
-            "  gate {name}: ratio {base_ratio:.2} -> {fresh_ratio:.2} (floor {floor:.2}) {verdict}"
+    let mut failed = compare_gates("gate", &base_gates, &fresh_gates, tolerance);
+
+    if let Some(shootout) = shootout_args {
+        let mut it = shootout.iter().cloned();
+        let s_base_path = it
+            .next()
+            .expect("--shootout needs a baseline shootout report");
+        let s_fresh_path = it
+            .next()
+            .unwrap_or_else(|| "reports/BENCH_shootout.json".to_string());
+        let s_base = load(&s_base_path);
+        let s_fresh = load(&s_fresh_path);
+        let s_base_gates = gate_ratios(&s_base);
+        let s_fresh_gates = gate_ratios(&s_fresh);
+        assert!(
+            !s_fresh_gates.is_empty(),
+            "bench-trend: {s_fresh_path} has no gates — was the shootout run?"
         );
-    }
-    for name in fresh_gates.keys().filter(|n| !base_gates.contains_key(*n)) {
-        println!("  gate {name}: new (absent from baseline)");
+        println!(
+            "bench-trend: {s_base_path} -> {s_fresh_path} (shootout, tolerance {tol_pct:.0}%)"
+        );
+        failed |= compare_gates("shootout", &s_base_gates, &s_fresh_gates, tolerance);
     }
 
     // Raw means are machine-dependent — context for a human reading CI

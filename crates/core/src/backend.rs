@@ -1,0 +1,324 @@
+//! Workload-adaptive backend selection for the service layer.
+//!
+//! The workspace now carries a dozen queue engines behind one
+//! [`MeldablePq`] surface. Which one should a [`crate::MeldablePq`]-generic
+//! harness (most importantly `svc::QueueService`) construct by default? The
+//! honest answer is *measured, per workload class*: the shootout benchmark
+//! (`crates/bench/src/bin/shootout.rs`) races every backend over uniform,
+//! adversarial and Dijkstra-style workloads and writes
+//! `reports/BENCH_shootout.json`; the selection table in this module is the
+//! committed distillation of that run.
+//!
+//! Like the cutoffs in [`crate::cutoff`], the choice honors an environment
+//! override read once per process — `MELDPQ_BACKEND=<name>` pins every
+//! class to one engine, so CI gates and A/B experiments can force any
+//! backend regardless of the table.
+
+use std::sync::OnceLock;
+
+use crate::heap::ParBinomialHeap;
+use crate::lazy::LazyBinomialHeap;
+use crate::meldable::{MeldablePq, PoolGuard};
+use seqheaps::MeldableHeap;
+
+/// Every constructible queue engine in the workspace (the shootout roster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the engine names
+pub enum Backend {
+    /// Zero-copy pooled parallel binomial heap (`PoolGuard`).
+    Pooled,
+    /// The §3 parallel binomial heap, sequential planner.
+    ParBinomial,
+    /// The §4 lazy binomial heap with empty nodes.
+    Lazy,
+    /// Sequential CLRS binomial heap.
+    Binomial,
+    /// Leftist heap.
+    Leftist,
+    /// Skew heap.
+    Skew,
+    /// Pairing heap, two-pass combine.
+    Pairing,
+    /// Pairing heap, multipass combine.
+    PairingMultipass,
+    /// Implicit 4-ary heap.
+    Dary4,
+    /// Implicit 8-ary heap.
+    Dary8,
+    /// Hollow heap (lazy deletion, O(1) decrease-key).
+    Hollow,
+    /// Indexed 4-ary heap (position map for decrease-key).
+    IndexedDary4,
+    /// Sequential arena binomial heap with handles.
+    IndexedBinomial,
+    /// `std::collections::BinaryHeap` adapter (meld rebuilds).
+    Binary,
+}
+
+impl Backend {
+    /// The full roster, in shootout order.
+    pub const ALL: [Backend; 14] = [
+        Backend::Pooled,
+        Backend::ParBinomial,
+        Backend::Lazy,
+        Backend::Binomial,
+        Backend::Leftist,
+        Backend::Skew,
+        Backend::Pairing,
+        Backend::PairingMultipass,
+        Backend::Dary4,
+        Backend::Dary8,
+        Backend::Hollow,
+        Backend::IndexedDary4,
+        Backend::IndexedBinomial,
+        Backend::Binary,
+    ];
+
+    /// Stable snake_case name (report keys, env values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Pooled => "pooled",
+            Backend::ParBinomial => "par_binomial",
+            Backend::Lazy => "lazy",
+            Backend::Binomial => "binomial",
+            Backend::Leftist => "leftist",
+            Backend::Skew => "skew",
+            Backend::Pairing => "pairing",
+            Backend::PairingMultipass => "pairing_multipass",
+            Backend::Dary4 => "dary4",
+            Backend::Dary8 => "dary8",
+            Backend::Hollow => "hollow",
+            Backend::IndexedDary4 => "indexed_dary4",
+            Backend::IndexedBinomial => "indexed_binomial",
+            Backend::Binary => "binary",
+        }
+    }
+
+    /// Parse a [`Backend::name`] (the `MELDPQ_BACKEND` format).
+    pub fn from_name(s: &str) -> Option<Backend> {
+        Backend::ALL.iter().copied().find(|b| b.name() == s.trim())
+    }
+
+    /// Construct an empty queue of this backend.
+    pub fn make(self) -> Box<dyn MeldablePq<i64> + Send> {
+        let p = std::thread::available_parallelism().map_or(2, |n| n.get());
+        match self {
+            Backend::Pooled => Box::new(PoolGuard::new()),
+            Backend::ParBinomial => Box::new(ParBinomialHeap::new()),
+            Backend::Lazy => Box::new(LazyBinomialHeap::new(p)),
+            Backend::Binomial => Box::new(seqheaps::BinomialHeap::new()),
+            Backend::Leftist => Box::new(seqheaps::LeftistHeap::new()),
+            Backend::Skew => Box::new(seqheaps::SkewHeap::new()),
+            Backend::Pairing => Box::new(seqheaps::PairingHeap::new()),
+            Backend::PairingMultipass => Box::new(seqheaps::PairingHeap::with_strategy(
+                seqheaps::MergeStrategy::MultiPass,
+            )),
+            Backend::Dary4 => Box::new(seqheaps::DaryHeap::<i64, 4>::new()),
+            Backend::Dary8 => Box::new(seqheaps::DaryHeap::<i64, 8>::new()),
+            Backend::Hollow => Box::new(seqheaps::HollowHeap::new()),
+            Backend::IndexedDary4 => Box::new(seqheaps::IndexedDaryHeap::<i64, 4>::new()),
+            Backend::IndexedBinomial => Box::new(crate::decrease::IndexedBinomialPq::new()),
+            Backend::Binary => Box::new(seqheaps::BinaryHeapAdapter::new()),
+        }
+    }
+
+    /// Construct an empty queue with native decrease-key, when this backend
+    /// has one. `None` means the engine must fall back to the
+    /// reinsert-and-skip-stale simulation (the classic Dijkstra workaround),
+    /// which is exactly what the shootout charges it for.
+    pub fn make_decrease(self) -> Option<Box<dyn crate::decrease::DecreaseKeyPq<i64> + Send>> {
+        let p = std::thread::available_parallelism().map_or(2, |n| n.get());
+        match self {
+            Backend::Binomial => Some(Box::new(seqheaps::BinomialHeap::new())),
+            Backend::Leftist => Some(Box::new(seqheaps::LeftistHeap::new())),
+            Backend::Skew => Some(Box::new(seqheaps::SkewHeap::new())),
+            Backend::Pairing => Some(Box::new(seqheaps::PairingHeap::new())),
+            Backend::PairingMultipass => Some(Box::new(seqheaps::PairingHeap::with_strategy(
+                seqheaps::MergeStrategy::MultiPass,
+            ))),
+            Backend::Hollow => Some(Box::new(seqheaps::HollowHeap::new())),
+            Backend::IndexedDary4 => Some(Box::new(seqheaps::IndexedDaryHeap::<i64, 4>::new())),
+            Backend::IndexedBinomial => Some(Box::new(crate::decrease::IndexedBinomialPq::new())),
+            Backend::Lazy => Some(Box::new(crate::decrease::LazyDecreasePq::new(p))),
+            Backend::Pooled
+            | Backend::ParBinomial
+            | Backend::Dary4
+            | Backend::Dary8
+            | Backend::Binary => None,
+        }
+    }
+}
+
+/// The workload classes the shootout measures (one selection-table row
+/// each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Well-mixed keys, insert/extract churn with periodic melds.
+    Uniform,
+    /// Ascending key stream (adversarial for self-adjusting shapes).
+    Sorted,
+    /// Descending key stream.
+    Reverse,
+    /// Heavy key duplication (16 distinct keys).
+    DupHeavy,
+    /// SSSP-style: tracked inserts, decrease-key bursts, extract-all.
+    Dijkstra,
+    /// The service layer's mix: bulk admission, melds, paced extraction.
+    Service,
+}
+
+impl WorkloadClass {
+    /// Every class, in shootout order.
+    pub const ALL: [WorkloadClass; 6] = [
+        WorkloadClass::Uniform,
+        WorkloadClass::Sorted,
+        WorkloadClass::Reverse,
+        WorkloadClass::DupHeavy,
+        WorkloadClass::Dijkstra,
+        WorkloadClass::Service,
+    ];
+
+    /// Stable snake_case name (report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::Uniform => "uniform",
+            WorkloadClass::Sorted => "sorted",
+            WorkloadClass::Reverse => "reverse",
+            WorkloadClass::DupHeavy => "dup_heavy",
+            WorkloadClass::Dijkstra => "dijkstra",
+            WorkloadClass::Service => "service",
+        }
+    }
+
+    /// Parse a [`WorkloadClass::name`].
+    pub fn from_name(s: &str) -> Option<WorkloadClass> {
+        WorkloadClass::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name() == s.trim())
+    }
+}
+
+/// The committed selection table: measured winners of the shootout run in
+/// `reports/BENCH_shootout.json` (regenerate with
+/// `cargo run --release --bin shootout`, then update here; the CI
+/// `shootout-smoke` job gates the table against drifting more than 1.25×
+/// from the measured best).
+/// Measured 2026-08: `binary` (std `BinaryHeap` behind the adapter) sweeps
+/// every sequential class at every size — even Dijkstra, where its
+/// reinsert-and-skip-stale simulation beats the native decrease-key
+/// engines' pointer chasing, a well-documented real-world result. The
+/// service class is the one place structure pays: `pooled` zero-copy melds
+/// win on geomean (crossover: `binary` edges ahead at n ≥ 4096, but the
+/// table is per-class and geomean picks `pooled`).
+const SELECTION: [(WorkloadClass, Backend); 6] = [
+    (WorkloadClass::Uniform, Backend::Binary),
+    (WorkloadClass::Sorted, Backend::Binary),
+    (WorkloadClass::Reverse, Backend::Binary),
+    (WorkloadClass::DupHeavy, Backend::Binary),
+    (WorkloadClass::Dijkstra, Backend::Binary),
+    (WorkloadClass::Service, Backend::Pooled),
+];
+
+/// The measured-fastest backend for `class` (no env consultation).
+pub fn table_pick(class: WorkloadClass) -> Backend {
+    SELECTION
+        .iter()
+        .find(|(c, _)| *c == class)
+        .map(|(_, b)| *b)
+        .expect("selection table covers every class")
+}
+
+/// The backend to use for `class`: the `MELDPQ_BACKEND` pin when set (read
+/// once per process), else the committed selection table.
+pub fn pick_for(class: WorkloadClass) -> Backend {
+    env_pin().unwrap_or_else(|| table_pick(class))
+}
+
+/// The default backend for the service layer ([`WorkloadClass::Service`]).
+pub fn default_backend() -> Backend {
+    pick_for(WorkloadClass::Service)
+}
+
+/// The `MELDPQ_BACKEND` pin, if set to a recognized name.
+pub fn env_pin() -> Option<Backend> {
+    static PIN: OnceLock<Option<Backend>> = OnceLock::new();
+    *PIN.get_or_init(|| {
+        std::env::var("MELDPQ_BACKEND")
+            .ok()
+            .as_deref()
+            .and_then(Backend::from_name)
+    })
+}
+
+/// One-line rendering of the live table (bench logs, provenance).
+pub fn describe() -> String {
+    let rows: Vec<String> = WorkloadClass::ALL
+        .iter()
+        .map(|c| format!("{}={}", c.name(), pick_for(*c).name()))
+        .collect();
+    let pin = env_pin().map_or_else(String::new, |b| format!(" (pinned: {})", b.name()));
+    format!("backends: {}{pin}", rows.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        for c in WorkloadClass::ALL {
+            assert_eq!(WorkloadClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Backend::from_name("no-such-engine"), None);
+    }
+
+    #[test]
+    fn every_backend_constructs_a_working_queue() {
+        for b in Backend::ALL {
+            let mut q = b.make();
+            q.multi_insert(&[5, 1, 3]);
+            assert_eq!(q.peek_min(), Some(1), "{}", b.name());
+            assert_eq!(q.extract_min(), Some(1), "{}", b.name());
+            assert_eq!(q.len(), 2, "{}", b.name());
+            assert_eq!(q.drain_sorted(), vec![3, 5], "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn decrease_capable_backends_honor_handles() {
+        let mut native = 0;
+        for b in Backend::ALL {
+            let Some(mut q) = b.make_decrease() else {
+                continue;
+            };
+            native += 1;
+            let h = q.insert_handle(50);
+            q.insert_handle(20);
+            assert!(q.decrease_key(h, 5), "{}", b.name());
+            assert_eq!(q.extract_min(), Some(5), "{}", b.name());
+            assert_eq!(q.extract_min(), Some(20), "{}", b.name());
+        }
+        assert_eq!(native, 9, "decrease-key roster drifted");
+    }
+
+    #[test]
+    fn table_covers_every_class() {
+        for c in WorkloadClass::ALL {
+            // Must not panic; the winner must be on the roster.
+            let b = table_pick(c);
+            assert!(Backend::ALL.contains(&b), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn describe_lists_all_classes() {
+        let d = describe();
+        for c in WorkloadClass::ALL {
+            assert!(d.contains(c.name()), "missing {}: {d}", c.name());
+        }
+    }
+}

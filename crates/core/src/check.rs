@@ -173,6 +173,41 @@ pub fn check_pool<K: Ord + Copy + Send + Sync>(
     Ok(())
 }
 
+/// Deep check of a [`seqheaps::HollowHeap`]: the structure's own `validate`
+/// (DAG in-degree accounting, heap order per edge, second-parent flags only
+/// on hollow nodes, tracked-item bijection) plus the lazy-deletion ledger —
+/// live node count must be full count plus hollow debt, and an empty heap
+/// must carry no residual hollow nodes.
+pub fn check_hollow<K: Ord + Clone>(h: &seqheaps::HollowHeap<K>) -> Result<(), String> {
+    h.validate()?;
+    let (full, live) = h.counts();
+    if full != seqheaps::MeldableHeap::len(h) {
+        return Err(format!(
+            "hollow ledger broken: counts full={full}, len={}",
+            seqheaps::MeldableHeap::len(h)
+        ));
+    }
+    if full != h.full_keys().count() {
+        return Err(format!(
+            "hollow ledger broken: counts full={full}, but {} full slots",
+            h.full_keys().count()
+        ));
+    }
+    let Some(hollow) = live.checked_sub(full) else {
+        return Err(format!("hollow ledger broken: live={live} < full={full}"));
+    };
+    if hollow != h.hollow_count() {
+        return Err(format!(
+            "hollow ledger broken: live-full={hollow}, hollow_count={}",
+            h.hollow_count()
+        ));
+    }
+    if full == 0 && hollow != 0 {
+        return Err(format!("empty heap retains {hollow} hollow nodes"));
+    }
+    Ok(())
+}
+
 impl<K: Ord + Copy + Send + Sync> CheckedPq for ParBinomialHeap<K> {
     fn check_invariants(&self) -> Result<(), String> {
         check_heap(self)
@@ -182,6 +217,24 @@ impl<K: Ord + Copy + Send + Sync> CheckedPq for ParBinomialHeap<K> {
 impl CheckedPq for LazyBinomialHeap {
     fn check_invariants(&self) -> Result<(), String> {
         check_lazy(self)
+    }
+}
+
+impl<K: Ord + Clone> CheckedPq for seqheaps::HollowHeap<K> {
+    fn check_invariants(&self) -> Result<(), String> {
+        check_hollow(self)
+    }
+}
+
+impl CheckedPq for crate::decrease::IndexedBinomialPq {
+    fn check_invariants(&self) -> Result<(), String> {
+        self.validate()
+    }
+}
+
+impl CheckedPq for crate::decrease::LazyDecreasePq {
+    fn check_invariants(&self) -> Result<(), String> {
+        self.validate()
     }
 }
 

@@ -38,6 +38,12 @@ pub struct ParBinomialHeap<K = i64> {
     /// (`*_pram` methods; `i64` keys only). `pram::Cost` implements
     /// [`obs::Recorder`], so this ledger snapshots straight into a registry.
     ledger: pram::Cost,
+    /// Cached minimum root, refreshed eagerly by every mutator so `min` /
+    /// `min_root` are O(1). `None` either means the heap is empty or the
+    /// cache was invalidated by raw-parts surgery; `min_root` falls back to
+    /// the scan in that case, so stale-`None` is safe, stale-`Some` never
+    /// happens.
+    min_cache: Option<NodeId>,
 }
 
 impl<K> Default for ParBinomialHeap<K> {
@@ -48,6 +54,7 @@ impl<K> Default for ParBinomialHeap<K> {
             len: 0,
             engine: Engine::Sequential,
             ledger: pram::Cost::ZERO,
+            min_cache: None,
         }
     }
 }
@@ -158,7 +165,16 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     }
 
     /// The root holding the minimum key (ties to the lowest order).
+    ///
+    /// O(1) when the cache is warm (every mutator refreshes it); falls back
+    /// to [`Self::min_root_scan`] after raw-parts surgery invalidated it.
     pub fn min_root(&self) -> Option<NodeId> {
+        self.min_cache.or_else(|| self.min_root_scan())
+    }
+
+    /// The uncached O(log n) scan over the root array (the pre-cache
+    /// behaviour; kept public so the wallclock bench can race the two).
+    pub fn min_root_scan(&self) -> Option<NodeId> {
         let mut best: Option<NodeId> = None;
         for id in self.roots.iter().flatten() {
             match best {
@@ -171,6 +187,11 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             }
         }
         best
+    }
+
+    /// Recompute the cached min root from the current root array.
+    fn refresh_min_cache(&mut self) {
+        self.min_cache = self.min_root_scan();
     }
 
     /// `Extract-Min(Q)`: remove and return the minimum key. The children of
@@ -193,6 +214,9 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
         }
         let residual_roots: Vec<Option<NodeId>> = children.into_iter().map(Some).collect();
         self.meld_roots_in_arena(residual_roots, child_count, engine);
+        // The residual meld may have been a no-op (order-0 root); the root
+        // array still changed above, so always refresh here.
+        self.refresh_min_cache();
         self.debug_validate();
         Some(key)
     }
@@ -222,6 +246,7 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             self.roots = other_roots;
             self.len = n2;
             self.trim();
+            self.refresh_min_cache();
             return;
         }
         let width = plan_width(n1, n2);
@@ -296,6 +321,7 @@ impl ParBinomialHeap<i64> {
             self.roots = other_roots;
             self.len = other_len;
             self.trim();
+            self.refresh_min_cache();
             return;
         }
         let width = plan_width(self.len, other_len);
@@ -360,6 +386,7 @@ impl ParBinomialHeap<i64> {
         }
         let residual: Vec<Option<NodeId>> = children.into_iter().map(Some).collect();
         self.meld_roots_pram(residual, child_count, p);
+        self.refresh_min_cache();
         self.debug_validate();
         Some(key)
     }
@@ -417,6 +444,7 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             self.arena.get_mut(*r).parent = None;
         }
         self.trim();
+        self.refresh_min_cache();
     }
 
     /// Assemble a heap from a pool-built arena + root array (the zero-copy
@@ -429,8 +457,10 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
             len,
             engine: Engine::Sequential,
             ledger: pram::Cost::ZERO,
+            min_cache: None,
         };
         h.trim();
+        h.refresh_min_cache();
         h.debug_validate();
         h
     }
@@ -442,7 +472,10 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
     }
 
     /// Mutable access to arena + roots together (the bulk peel kernel).
+    /// Invalidates the min cache — the caller mutates roots out of our
+    /// sight, and the finishing `set_len` rebuilds it.
     pub(crate) fn parts_mut(&mut self) -> (&mut Arena<K>, &mut Vec<Option<NodeId>>) {
+        self.min_cache = None;
         (&mut self.arena, &mut self.roots)
     }
 
@@ -473,11 +506,14 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
         debug_assert!(self.roots[order].is_none());
         debug_assert_eq!(self.arena.get(id).children.len(), order);
         self.roots[order] = Some(id);
+        self.min_cache = None;
     }
 
-    /// Finish a detached build by recording the key count.
+    /// Finish a detached build by recording the key count (and rebuild the
+    /// min cache the detached surgery bypassed).
     pub(crate) fn set_len(&mut self, n: usize) {
         self.len = n;
+        self.refresh_min_cache();
     }
 
     /// Iterate over all stored keys in arbitrary (arena) order.
@@ -543,6 +579,17 @@ impl<K: Ord + Copy + Send + Sync> ParBinomialHeap<K> {
                 self.arena.len(),
                 self.len
             ));
+        }
+        if let Some(cached) = self.min_cache {
+            if !self.roots.contains(&Some(cached)) {
+                return Err("min cache points at a non-root".into());
+            }
+            let cached_key = self.arena.get(cached).key;
+            if let Some(best) = self.min_root_scan() {
+                if self.arena.get(best).key < cached_key {
+                    return Err("min cache is stale (scan found a smaller root)".into());
+                }
+            }
         }
         Ok(())
     }
@@ -657,6 +704,38 @@ mod tests {
         e2.meld(a, Engine::Sequential);
         assert_eq!(e2.len(), 1);
         assert_eq!(e2.min(), Some(1));
+    }
+
+    #[test]
+    fn min_cache_tracks_scan_through_all_mutators() {
+        let mut h = ParBinomialHeap::new();
+        // Insert / extract keep the cache warm and correct.
+        for k in [13i64, 4, 9, 4, 22, -3, 17, 0] {
+            h.insert(k);
+            assert_eq!(h.min_cache, h.min_root_scan(), "cache after insert");
+            h.validate().unwrap();
+        }
+        assert_eq!(h.extract_min(Engine::Sequential), Some(-3));
+        assert_eq!(h.min_cache, h.min_root_scan(), "cache after extract");
+        // Melds (both directions, including meld-into-empty) refresh it.
+        let mut e = ParBinomialHeap::new();
+        e.meld(ParBinomialHeap::from_keys([-7, 5]), Engine::Sequential);
+        assert_eq!(e.min_cache, e.min_root_scan(), "cache after empty-meld");
+        h.meld(e, Engine::Rayon);
+        assert_eq!(h.min_cache, h.min_root_scan(), "cache after meld");
+        assert_eq!(h.min(), Some(-7));
+        // PRAM ops refresh it too.
+        h.insert_pram(-9, 3);
+        assert_eq!(h.min_cache, h.min_root_scan(), "cache after insert_pram");
+        assert_eq!(h.extract_min_pram(3), Some(-9));
+        assert_eq!(h.min_cache, h.min_root_scan(), "cache after extract_pram");
+        h.validate().unwrap();
+        // And a stale cache is caught by validate.
+        // Keys [3,1,2]: B_1 holds {3,1} (root key 1), B_0 holds {2}. Pointing
+        // the cache at the B_0 root (key 2) makes it stale.
+        let mut bad = ParBinomialHeap::from_keys([3i64, 1, 2]);
+        bad.min_cache = bad.roots[0];
+        assert!(bad.validate().unwrap_err().contains("min cache"));
     }
 
     #[test]

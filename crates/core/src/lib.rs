@@ -33,10 +33,12 @@
 //! ```
 
 pub mod arena;
+pub mod backend;
 pub mod build;
 pub mod bulk;
 pub mod check;
 pub mod cutoff;
+pub mod decrease;
 pub mod engine_pram;
 pub mod engine_rayon;
 pub mod heap;
@@ -47,7 +49,9 @@ pub mod pool;
 pub mod viz;
 
 pub use arena::{Arena, ArenaStats, Node, NodeId};
+pub use backend::{Backend, WorkloadClass};
 pub use check::CheckedPq;
+pub use decrease::{DecreaseKeyPq, IndexedBinomialPq, LazyDecreasePq, PqHandle};
 pub use heap::{Engine, ParBinomialHeap};
 pub use meldable::{MeldablePq, PoolGuard, PramMeasured};
 pub use plan::{LinkOp, PointType, RootRef, UnionPlan};

@@ -366,9 +366,28 @@ impl_meldable_for_seqheap!(
     SkewHeap,
     PairingHeap,
     BinaryHeapAdapter,
+    HollowHeap,
 );
 
 impl<K: Ord + Copy, const D: usize> MeldablePq<K> for seqheaps::DaryHeap<K, D> {
+    fn len(&self) -> usize {
+        seqheaps::MeldableHeap::len(self)
+    }
+    fn insert(&mut self, key: K) {
+        seqheaps::MeldableHeap::insert(self, key);
+    }
+    fn peek_min(&mut self) -> Option<K> {
+        seqheaps::MeldableHeap::min(self).copied()
+    }
+    fn extract_min(&mut self) -> Option<K> {
+        seqheaps::MeldableHeap::extract_min(self)
+    }
+    fn meld(&mut self, other: Self) {
+        seqheaps::MeldableHeap::meld(self, other);
+    }
+}
+
+impl<K: Ord + Copy, const D: usize> MeldablePq<K> for seqheaps::IndexedDaryHeap<K, D> {
     fn len(&self) -> usize {
         seqheaps::MeldableHeap::len(self)
     }

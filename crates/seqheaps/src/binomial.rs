@@ -13,6 +13,7 @@
 //! this is the *sequential baseline* whose `Θ(log n)` dependent-link chain the
 //! paper's Phase I–III algorithm breaks (ablation A1 measures exactly this).
 
+use crate::decrease::{DecreaseKeyHeap, Handle, TrackedKeys};
 use crate::stats::OpStats;
 use crate::traits::MeldableHeap;
 
@@ -68,6 +69,35 @@ impl<K: Ord> BinomialTreeNode<K> {
         1usize << self.order()
     }
 
+    /// Sift-based decrease: locate *an* element holding `old` (pruned DFS —
+    /// a subtree can only contain `old` when its root key is `≤ old`),
+    /// overwrite it with `new`, then restore heap order by swapping key
+    /// contents up the discovery path. Returns `true` when found here.
+    fn decrease_in(&mut self, old: &K, new: &K, stats: &OpStats) -> bool
+    where
+        K: Clone,
+    {
+        if self.key == *old {
+            self.key = new.clone();
+            return true;
+        }
+        for c in self.children.iter_mut() {
+            stats.add_comparisons(1);
+            if c.key > *old {
+                continue;
+            }
+            if c.decrease_in(old, new, stats) {
+                stats.add_comparisons(1);
+                if c.key < self.key {
+                    std::mem::swap(&mut c.key, &mut self.key);
+                    stats.add_link();
+                }
+                return true;
+            }
+        }
+        false
+    }
+
     /// Check structural shape and heap order recursively.
     fn validate(&self) -> Result<(), String> {
         for (i, c) in self.children.iter().enumerate() {
@@ -93,6 +123,9 @@ pub struct BinomialHeap<K> {
     roots: Vec<Option<BinomialTreeNode<K>>>,
     len: usize,
     stats: OpStats,
+    /// Handle bookkeeping for the sift-based `decrease_key` (empty — one
+    /// branch per op — unless `insert_tracked` is used).
+    tracked: TrackedKeys<K>,
 }
 
 impl<K: Ord> BinomialHeap<K> {
@@ -144,6 +177,7 @@ impl<K: Ord> BinomialHeap<K> {
     pub fn union_with(&mut self, other: BinomialHeap<K>) {
         self.stats.absorb(&other.stats);
         self.len += other.len;
+        self.tracked.merge(other.tracked);
         let max = self.roots.len().max(other.roots.len());
         self.roots.resize_with(max, || None);
         let mut carry: Option<BinomialTreeNode<K>> = None;
@@ -218,6 +252,10 @@ impl<K: Ord> BinomialHeap<K> {
         if matches!(self.roots.last(), Some(None)) {
             return Err("root array not trimmed".into());
         }
+        self.tracked.check()?;
+        if self.tracked.len() > self.len {
+            return Err("more tracked handles than elements".into());
+        }
         Ok(())
     }
 }
@@ -228,6 +266,7 @@ impl<K: Ord> MeldableHeap<K> for BinomialHeap<K> {
             roots: Vec::new(),
             len: 0,
             stats: OpStats::new(),
+            tracked: TrackedKeys::default(),
         }
     }
 
@@ -257,8 +296,10 @@ impl<K: Ord> MeldableHeap<K> for BinomialHeap<K> {
             roots: children.into_iter().map(Some).collect(),
             len: child_len,
             stats: OpStats::new(),
+            tracked: TrackedKeys::default(),
         };
         self.union_with(child_heap);
+        self.tracked.on_extract(&key);
         Some(key)
     }
 
@@ -272,6 +313,42 @@ impl<K: Ord> MeldableHeap<K> for BinomialHeap<K> {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+}
+
+impl<K: Ord + Clone> DecreaseKeyHeap<K> for BinomialHeap<K> {
+    fn insert_tracked(&mut self, key: K) -> Handle {
+        let h = self.tracked.track(key.clone());
+        self.insert(key);
+        h
+    }
+
+    fn decrease_key(&mut self, h: Handle, new_key: K) -> bool {
+        let Some(old) = self.tracked.key_of(h).cloned() else {
+            return false;
+        };
+        if new_key > old {
+            return false;
+        }
+        if new_key == old {
+            return true;
+        }
+        self.tracked.rekey(h, new_key.clone());
+        for r in self.roots.iter_mut().flatten() {
+            self.stats.add_comparisons(1);
+            if r.key > old {
+                continue;
+            }
+            if r.decrease_in(&old, &new_key, &self.stats) {
+                return true;
+            }
+        }
+        debug_assert!(false, "tracked key must be present in the forest");
+        false
+    }
+
+    fn tracked_key(&self, h: Handle) -> Option<K> {
+        self.tracked.key_of(h).cloned()
     }
 }
 
@@ -353,6 +430,35 @@ mod tests {
             assert_eq!(h.extract_min(), Some(7));
         }
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn decrease_key_sifts_within_a_tree() {
+        let mut h = BinomialHeap::new();
+        for k in 0..32 {
+            h.insert(k * 10);
+        }
+        let t = h.insert_tracked(999);
+        assert!(h.decrease_key(t, -1));
+        h.validate().expect("valid after decrease");
+        assert_eq!(h.tracked_key(t), Some(-1));
+        assert_eq!(h.min(), Some(&-1));
+        assert_eq!(h.extract_min(), Some(-1));
+        assert_eq!(h.tracked_key(t), None, "extracting retires the handle");
+        assert!(!h.decrease_key(t, -5), "stale handle must refuse");
+        h.validate().expect("valid after extract");
+    }
+
+    #[test]
+    fn decrease_to_duplicate_key_keeps_multiset() {
+        let mut h = BinomialHeap::new();
+        for k in [7, 7, 3, 3, 9] {
+            h.insert(k);
+        }
+        let t = h.insert_tracked(9);
+        assert!(h.decrease_key(t, 3), "decrease onto an existing key");
+        h.validate().expect("valid");
+        assert_eq!(h.into_sorted_vec(), vec![3, 3, 3, 7, 7, 9]);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! misses, which is the configuration practitioners actually deploy. W1
 //! contrasts it with the meldable structures.
 
+use std::collections::HashMap;
+
+use crate::decrease::{mint, DecreaseKeyHeap, Handle};
 use crate::stats::OpStats;
 use crate::traits::MeldableHeap;
 
@@ -138,6 +141,191 @@ impl<K: Ord, const D: usize> MeldableHeap<K> for DaryHeap<K, D> {
     }
 }
 
+/// An implicit d-ary min-heap with a position index for `decrease_key`.
+///
+/// Entries carry an optional tracked-element id; a side map `id → array
+/// index` is maintained across every swap, so `decrease_key` is a direct
+/// O(log_D n) sift-up from the element's current slot — the structure
+/// Dijkstra implementations actually deploy when decrease volume is high.
+/// Untracked entries (plain `insert`) pay nothing beyond one `None` tag.
+#[derive(Debug, Clone)]
+pub struct IndexedDaryHeap<K, const D: usize> {
+    items: Vec<(K, Option<u64>)>,
+    pos: HashMap<u64, usize>,
+    stats: OpStats,
+}
+
+impl<K: Ord, const D: usize> Default for IndexedDaryHeap<K, D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, const D: usize> IndexedDaryHeap<K, D> {
+    fn swap_entries(&mut self, i: usize, j: usize) {
+        self.items.swap(i, j);
+        if let Some(h) = self.items[i].1 {
+            self.pos.insert(h, i);
+        }
+        if let Some(h) = self.items[j].1 {
+            self.pos.insert(h, j);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / D;
+            self.stats.add_comparisons(1);
+            if self.items[i].0 < self.items[parent].0 {
+                self.swap_entries(i, parent);
+                self.stats.add_link();
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.items.len();
+        loop {
+            let first = i * D + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            for c in first + 1..(first + D).min(n) {
+                self.stats.add_comparisons(1);
+                if self.items[c].0 < self.items[best].0 {
+                    best = c;
+                }
+            }
+            self.stats.add_comparisons(1);
+            if self.items[best].0 < self.items[i].0 {
+                self.swap_entries(i, best);
+                self.stats.add_link();
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Check the heap property and the position-index mirror.
+    pub fn validate(&self) -> Result<(), String> {
+        for i in 1..self.items.len() {
+            if self.items[i].0 < self.items[(i - 1) / D].0 {
+                return Err(format!("indexed: heap property violated at index {i}"));
+            }
+        }
+        let tagged = self.items.iter().filter(|e| e.1.is_some()).count();
+        if tagged != self.pos.len() {
+            return Err("indexed: position map size mismatch".into());
+        }
+        for (i, (_, item)) in self.items.iter().enumerate() {
+            if let Some(h) = item {
+                if self.pos.get(h) != Some(&i) {
+                    return Err(format!("indexed: stale position for item {h}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: Ord, const D: usize> MeldableHeap<K> for IndexedDaryHeap<K, D> {
+    fn new() -> Self {
+        assert!(D >= 2, "fan-out must be at least 2");
+        IndexedDaryHeap {
+            items: Vec::new(),
+            pos: HashMap::new(),
+            stats: OpStats::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn insert(&mut self, key: K) {
+        self.items.push((key, None));
+        self.sift_up(self.items.len() - 1);
+    }
+
+    fn min(&self) -> Option<&K> {
+        self.items.first().map(|e| &e.0)
+    }
+
+    fn extract_min(&mut self) -> Option<K> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.swap_entries(0, last);
+        let (key, item) = self.items.pop()?;
+        if let Some(h) = item {
+            self.pos.remove(&h);
+        }
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        Some(key)
+    }
+
+    fn meld(&mut self, mut other: Self) {
+        self.stats.absorb(&other.stats);
+        if other.items.len() > self.items.len() {
+            std::mem::swap(&mut self.items, &mut other.items);
+            std::mem::swap(&mut self.pos, &mut other.pos);
+        }
+        for (k, item) in other.items.drain(..) {
+            self.items.push((k, item));
+            let last = self.items.len() - 1;
+            if let Some(h) = item {
+                self.pos.insert(h, last);
+            }
+            self.sift_up(last);
+        }
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+impl<K: Ord + Clone, const D: usize> DecreaseKeyHeap<K> for IndexedDaryHeap<K, D> {
+    fn insert_tracked(&mut self, key: K) -> Handle {
+        let h = mint();
+        self.items.push((key, Some(h.raw())));
+        let last = self.items.len() - 1;
+        self.pos.insert(h.raw(), last);
+        self.sift_up(last);
+        h
+    }
+
+    fn decrease_key(&mut self, h: Handle, new_key: K) -> bool {
+        let Some(&i) = self.pos.get(&h.raw()) else {
+            return false;
+        };
+        self.stats.add_comparisons(1);
+        if new_key > self.items[i].0 {
+            return false;
+        }
+        self.items[i].0 = new_key;
+        self.sift_up(i);
+        true
+    }
+
+    fn tracked_key(&self, h: Handle) -> Option<K> {
+        let i = *self.pos.get(&h.raw())?;
+        Some(self.items[i].0.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +366,52 @@ mod tests {
         small.validate().unwrap();
         assert_eq!(small.len(), 6);
         assert_eq!(small.extract_min(), Some(1));
+    }
+
+    #[test]
+    fn indexed_sorts_and_tracks_positions() {
+        let mut h: IndexedDaryHeap<i64, 4> = IndexedDaryHeap::new();
+        let keys = [9i64, -3, 7, 7, 0, 12, -3, 5, 1];
+        for k in keys {
+            h.insert(k);
+            h.validate().expect("valid");
+        }
+        let mut expected = keys.to_vec();
+        expected.sort_unstable();
+        assert_eq!(h.into_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn indexed_decrease_key_sifts_up() {
+        let mut h: IndexedDaryHeap<i64, 4> = IndexedDaryHeap::new();
+        for k in 0..64 {
+            h.insert(k + 10);
+        }
+        let t = h.insert_tracked(1000);
+        assert!(h.decrease_key(t, -5));
+        h.validate().expect("valid after decrease");
+        assert_eq!(h.tracked_key(t), Some(-5));
+        assert_eq!(h.extract_min(), Some(-5));
+        assert_eq!(h.tracked_key(t), None);
+        assert!(!h.decrease_key(t, -9), "stale handle must refuse");
+    }
+
+    #[test]
+    fn indexed_handles_survive_meld() {
+        let mut a: IndexedDaryHeap<i64, 4> = IndexedDaryHeap::new();
+        let mut b: IndexedDaryHeap<i64, 4> = IndexedDaryHeap::new();
+        let ta = a.insert_tracked(40);
+        let tb = b.insert_tracked(50);
+        for k in 0..20 {
+            a.insert(100 + k);
+            b.insert(200 + k);
+        }
+        a.meld(b);
+        a.validate().expect("valid after meld");
+        assert_eq!(a.tracked_key(ta), Some(40));
+        assert_eq!(a.tracked_key(tb), Some(50));
+        assert!(a.decrease_key(tb, -1));
+        assert_eq!(a.extract_min(), Some(-1));
     }
 
     #[test]

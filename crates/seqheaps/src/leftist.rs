@@ -5,6 +5,7 @@
 //! right child, so the rightmost path has length `O(log n)` and two heaps meld
 //! by merging right spines.
 
+use crate::decrease::{DecreaseKeyHeap, Handle, TrackedKeys};
 use crate::stats::OpStats;
 use crate::traits::MeldableHeap;
 
@@ -41,6 +42,8 @@ pub struct LeftistHeap<K> {
     root: Link<K>,
     len: usize,
     stats: OpStats,
+    /// Handle bookkeeping for the sift-based `decrease_key`.
+    tracked: TrackedKeys<K>,
 }
 
 impl<K: Clone> Clone for LeftistHeap<K> {
@@ -49,7 +52,29 @@ impl<K: Clone> Clone for LeftistHeap<K> {
             root: self.root.clone(),
             len: self.len,
             stats: self.stats.clone(),
+            tracked: self.tracked.clone(),
         }
+    }
+}
+
+impl<K> crate::decrease::BinaryNode<K> for LNode<K> {
+    fn key(&self) -> &K {
+        &self.key
+    }
+    fn key_mut(&mut self) -> &mut K {
+        &mut self.key
+    }
+    fn left(&self) -> Option<&Self> {
+        self.left.as_deref()
+    }
+    fn right(&self) -> Option<&Self> {
+        self.right.as_deref()
+    }
+    fn left_mut(&mut self) -> Option<&mut Self> {
+        self.left.as_deref_mut()
+    }
+    fn right_mut(&mut self) -> Option<&mut Self> {
+        self.right.as_deref_mut()
     }
 }
 
@@ -100,6 +125,10 @@ impl<K: Ord> LeftistHeap<K> {
         if count != self.len {
             return Err(format!("len {} but tree holds {count}", self.len));
         }
+        self.tracked.check()?;
+        if self.tracked.len() > self.len {
+            return Err("more tracked handles than elements".into());
+        }
         Ok(())
     }
 }
@@ -124,6 +153,7 @@ impl<K: Ord> MeldableHeap<K> for LeftistHeap<K> {
             root: None,
             len: 0,
             stats: OpStats::new(),
+            tracked: TrackedKeys::default(),
         }
     }
 
@@ -145,6 +175,7 @@ impl<K: Ord> MeldableHeap<K> for LeftistHeap<K> {
         let mut root = self.root.take()?;
         self.len -= 1;
         self.root = Self::merge(root.left.take(), root.right.take(), &self.stats);
+        self.tracked.on_extract(&root.key);
         Some(root.key)
     }
 
@@ -152,6 +183,7 @@ impl<K: Ord> MeldableHeap<K> for LeftistHeap<K> {
         self.stats.absorb(&other.stats);
         self.len += other.len;
         other.len = 0;
+        self.tracked.merge(std::mem::take(&mut other.tracked));
         self.root = Self::merge(self.root.take(), other.root.take(), &self.stats);
     }
 
@@ -161,6 +193,37 @@ impl<K: Ord> MeldableHeap<K> for LeftistHeap<K> {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+}
+
+impl<K: Ord + Clone> DecreaseKeyHeap<K> for LeftistHeap<K> {
+    fn insert_tracked(&mut self, key: K) -> Handle {
+        let h = self.tracked.track(key.clone());
+        self.insert(key);
+        h
+    }
+
+    fn decrease_key(&mut self, h: Handle, new_key: K) -> bool {
+        let Some(old) = self.tracked.key_of(h).cloned() else {
+            return false;
+        };
+        if new_key > old {
+            return false;
+        }
+        if new_key == old {
+            return true;
+        }
+        self.tracked.rekey(h, new_key.clone());
+        let found = match self.root.as_deref_mut() {
+            Some(r) => crate::decrease::binary_decrease(r, &old, &new_key, &self.stats),
+            None => false,
+        };
+        debug_assert!(found, "tracked key must be present in the tree");
+        found
+    }
+
+    fn tracked_key(&self, h: Handle) -> Option<K> {
+        self.tracked.key_of(h).cloned()
     }
 }
 
@@ -198,6 +261,22 @@ mod tests {
         }
         assert_eq!(h.len(), 200_000);
         drop(h); // must not overflow the stack
+    }
+
+    #[test]
+    fn decrease_key_preserves_leftist_shape() {
+        let mut h = LeftistHeap::new();
+        for k in [40, 10, 70, 20, 90, 30, 60] {
+            h.insert(k);
+        }
+        let t = h.insert_tracked(80);
+        assert!(h.decrease_key(t, 5));
+        h.validate().expect("ranks untouched by content sift");
+        assert_eq!(h.min(), Some(&5));
+        assert_eq!(h.extract_min(), Some(5));
+        assert_eq!(h.tracked_key(t), None);
+        assert!(!h.decrease_key(t, 1), "stale handle must refuse");
+        h.validate().expect("valid after extract");
     }
 
     #[test]

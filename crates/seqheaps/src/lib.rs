@@ -21,6 +21,16 @@
 //! * [`IndexedBinomialHeap`] — the arena/handle variant supporting the full
 //!   Definition 1 (`Decrease-Key`, `Delete`, `Change-Key`) sequentially —
 //!   the textbook comparator for the paper's §4.
+//! * [`HollowHeap`] — Hansen–Kaplan–Tarjan–Zwick hollow heaps: lazy deletion
+//!   via hollow nodes (the sequential sibling of the paper's `-∞` empty
+//!   nodes), with O(1) `insert`/`meld`/`decrease_key`.
+//! * [`IndexedDaryHeap`] — the implicit d-ary heap plus a position index,
+//!   giving the deploy-grade O(log_D n) `decrease_key`.
+//!
+//! Engines with a `decrease_key` additionally implement [`DecreaseKeyHeap`]
+//! (hollow, pairing and indexed d-ary natively; binomial, leftist and skew
+//! via a sift-based fallback), so the whole fleet can run SSSP-style
+//! workloads under one trait.
 //!
 //! All structures implement the common [`MeldableHeap`] trait and carry an
 //! [`OpStats`] instrumentation block counting key comparisons and structural
@@ -44,6 +54,8 @@
 pub mod binary;
 pub mod binomial;
 pub mod dary;
+pub mod decrease;
+pub mod hollow;
 pub mod indexed;
 pub mod leftist;
 pub mod pairing;
@@ -53,10 +65,12 @@ pub mod traits;
 
 pub use binary::BinaryHeapAdapter;
 pub use binomial::BinomialHeap;
-pub use dary::DaryHeap;
+pub use dary::{DaryHeap, IndexedDaryHeap};
+pub use decrease::{DecreaseKeyHeap, Handle};
+pub use hollow::HollowHeap;
 pub use indexed::{IndexedBinomialHeap, ItemId};
 pub use leftist::LeftistHeap;
-pub use pairing::PairingHeap;
+pub use pairing::{MergeStrategy, PairingHeap};
 pub use skew::SkewHeap;
 pub use stats::OpStats;
 pub use traits::MeldableHeap;

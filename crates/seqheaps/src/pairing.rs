@@ -1,114 +1,243 @@
 //! Pairing heap — the practical meldable baseline.
 //!
-//! `insert` and `meld` are a single comparison-link; `extract_min` performs
-//! the classic two-pass pairing of the root's children. Children are stored in
-//! a `Vec` (newest last) rather than the sibling-pointer list to stay idiomatic
-//! and cache-friendly.
+//! `insert` and `meld` are a single comparison-link; `extract_min` combines
+//! the root's children with a selectable [`MergeStrategy`] (classic two-pass,
+//! or the multipass FIFO variant — the shootout harness races both and the
+//! backend table picks the measured winner). Nodes live in a flat arena with
+//! a free list; freed slots keep their child-`Vec` capacity, so steady-state
+//! links never allocate (the same recycling trick as `Arena::absorb`).
+//!
+//! Parent pointers make `decrease_key` the textbook O(1) cut-and-relink:
+//! detach the node's subtree from its parent and comparison-link it with the
+//! root.
 
+use std::collections::HashMap;
+use std::mem;
+
+use crate::decrease::{mint, DecreaseKeyHeap, Handle};
 use crate::stats::OpStats;
 use crate::traits::MeldableHeap;
 
-#[derive(Debug, Clone)]
-struct PNode<K> {
-    key: K,
-    children: Vec<PNode<K>>,
+/// Sentinel for "no node".
+const NONE32: u32 = u32::MAX;
+
+/// How `extract_min` recombines the root's orphaned children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Pair left-to-right, then fold the pairs right-to-left (Fredman–
+    /// Sedgewick–Sleator–Tarjan's original; amortised O(log n)).
+    #[default]
+    TwoPass,
+    /// FIFO rounds: repeatedly link the two front trees and enqueue the
+    /// winner until one remains (the multipass variant).
+    MultiPass,
 }
 
-impl<K: Ord> PNode<K> {
-    /// Comparison-link: the larger root becomes a child of the smaller.
-    fn link(mut self, mut other: Self, stats: &OpStats) -> Self {
-        stats.add_comparisons(1);
-        stats.add_link();
-        if other.key < self.key {
-            std::mem::swap(&mut self, &mut other);
+impl MergeStrategy {
+    /// Stable lowercase name (report keys, CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MergeStrategy::TwoPass => "two_pass",
+            MergeStrategy::MultiPass => "multi_pass",
         }
-        self.children.push(other);
-        self
     }
+}
+
+#[derive(Debug, Clone)]
+struct PSlot<K> {
+    key: K,
+    parent: u32,
+    children: Vec<u32>,
+    /// Tracked element id (only elements inserted via `insert_tracked`).
+    item: Option<u64>,
+    free: bool,
 }
 
 /// A pairing (min-)heap.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct PairingHeap<K> {
-    root: Option<PNode<K>>,
+    nodes: Vec<PSlot<K>>,
+    free: Vec<u32>,
+    root: u32,
     len: usize,
     stats: OpStats,
+    strategy: MergeStrategy,
+    tracked: HashMap<u64, u32>,
+    /// Reused pairing buffer for `extract_min`.
+    scratch: Vec<u32>,
 }
 
-impl<K: Clone> Clone for PairingHeap<K> {
-    fn clone(&self) -> Self {
+impl<K> Default for PairingHeap<K> {
+    fn default() -> Self {
         PairingHeap {
-            root: self.root.clone(),
-            len: self.len,
-            stats: self.stats.clone(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NONE32,
+            len: 0,
+            stats: OpStats::new(),
+            strategy: MergeStrategy::default(),
+            tracked: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 }
 
-impl<K: Ord> PairingHeap<K> {
-    /// Two-pass pairing: link children pairwise left-to-right, then fold the
-    /// results right-to-left.
-    fn two_pass(mut children: Vec<PNode<K>>, stats: &OpStats) -> Option<PNode<K>> {
-        if children.is_empty() {
-            return None;
+impl<K: Ord + Clone> PairingHeap<K> {
+    /// An empty heap using the given child-merge strategy.
+    pub fn with_strategy(strategy: MergeStrategy) -> Self {
+        PairingHeap {
+            strategy,
+            ..PairingHeap::default()
         }
-        let mut paired: Vec<PNode<K>> = Vec::with_capacity(children.len().div_ceil(2));
-        let mut iter = children.drain(..);
-        while let Some(a) = iter.next() {
-            match iter.next() {
-                Some(b) => paired.push(a.link(b, stats)),
-                None => paired.push(a),
-            }
-        }
-        drop(iter);
-        let mut acc = paired.pop().expect("nonempty");
-        while let Some(p) = paired.pop() {
-            acc = p.link(acc, stats);
-        }
-        Some(acc)
     }
 
-    /// Check heap order (iteratively) and the size bookkeeping.
-    pub fn validate(&self) -> Result<(), String> {
-        let mut count = 0usize;
-        let mut stack: Vec<&PNode<K>> = Vec::new();
-        if let Some(r) = &self.root {
-            stack.push(r);
+    /// The strategy `extract_min` uses (melds keep the left heap's).
+    pub fn strategy(&self) -> MergeStrategy {
+        self.strategy
+    }
+
+    /// Arena slots currently allocated (free or live) — lets tests assert
+    /// that slot reuse keeps the arena from growing.
+    pub fn arena_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn alloc(&mut self, key: K, item: Option<u64>) -> u32 {
+        if let Some(id) = self.free.pop() {
+            let slot = &mut self.nodes[id as usize];
+            slot.key = key;
+            slot.parent = NONE32;
+            slot.item = item;
+            slot.free = false;
+            debug_assert!(slot.children.is_empty());
+            id
+        } else {
+            self.nodes.push(PSlot {
+                key,
+                parent: NONE32,
+                children: Vec::new(),
+                item,
+                free: false,
+            });
+            (self.nodes.len() - 1) as u32
         }
+    }
+
+    /// Comparison-link: the larger root becomes a child of the smaller.
+    fn link(&mut self, a: u32, b: u32) -> u32 {
+        self.stats.add_comparisons(1);
+        self.stats.add_link();
+        let (winner, loser) = if self.nodes[a as usize].key <= self.nodes[b as usize].key {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.nodes[loser as usize].parent = winner;
+        self.nodes[winner as usize].children.push(loser);
+        winner
+    }
+
+    fn combine_children(&mut self, kids: &[u32]) -> u32 {
+        match kids.len() {
+            0 => return NONE32,
+            1 => return kids[0],
+            _ => {}
+        }
+        let mut buf = mem::take(&mut self.scratch);
+        buf.clear();
+        let root = match self.strategy {
+            MergeStrategy::TwoPass => {
+                let mut i = 0;
+                while i + 1 < kids.len() {
+                    let w = self.link(kids[i], kids[i + 1]);
+                    buf.push(w);
+                    i += 2;
+                }
+                if i < kids.len() {
+                    buf.push(kids[i]);
+                }
+                let mut acc = buf[buf.len() - 1];
+                for j in (0..buf.len() - 1).rev() {
+                    acc = self.link(buf[j], acc);
+                }
+                acc
+            }
+            MergeStrategy::MultiPass => {
+                buf.extend_from_slice(kids);
+                let mut head = 0;
+                while buf.len() - head >= 2 {
+                    let w = self.link(buf[head], buf[head + 1]);
+                    head += 2;
+                    buf.push(w);
+                }
+                buf[head]
+            }
+        };
+        self.scratch = buf;
+        root
+    }
+
+    /// Check heap order, parent pointers, counts and handle bookkeeping.
+    pub fn validate(&self) -> Result<(), String> {
+        let live = self.nodes.iter().filter(|s| !s.free).count();
+        if live != self.len {
+            return Err(format!("pairing: len {} but {live} live slots", self.len));
+        }
+        if self.free.len() + self.len != self.nodes.len() {
+            return Err("pairing: free list + live != slots".into());
+        }
+        if self.len == 0 {
+            if self.root != NONE32 {
+                return Err("pairing: empty heap with a root".into());
+            }
+            return Ok(());
+        }
+        if self.root == NONE32 || self.nodes[self.root as usize].free {
+            return Err("pairing: non-empty heap without live root".into());
+        }
+        if self.nodes[self.root as usize].parent != NONE32 {
+            return Err("pairing: root has a parent".into());
+        }
+        let mut count = 0usize;
+        let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
             count += 1;
-            for c in &n.children {
-                if c.key < n.key {
-                    return Err("heap order violated".into());
+            let ns = &self.nodes[n as usize];
+            if let Some(h) = ns.item {
+                if self.tracked.get(&h) != Some(&n) {
+                    return Err(format!("pairing: item {h} not mirrored in tracked map"));
+                }
+            }
+            for &c in &ns.children {
+                let cs = &self.nodes[c as usize];
+                if cs.free {
+                    return Err("pairing: edge to freed slot".into());
+                }
+                if cs.key < ns.key {
+                    return Err("pairing: heap order violated".into());
+                }
+                if cs.parent != n {
+                    return Err("pairing: child parent pointer mismatch".into());
                 }
                 stack.push(c);
             }
         }
         if count != self.len {
-            return Err(format!("len {} but tree holds {count}", self.len));
+            return Err(format!("pairing: len {} but tree holds {count}", self.len));
+        }
+        for (h, &n) in &self.tracked {
+            let s = &self.nodes[n as usize];
+            if s.free || s.item != Some(*h) {
+                return Err(format!("pairing: tracked handle {h} points at a non-owner"));
+            }
         }
         Ok(())
     }
 }
 
-impl<K> Drop for PairingHeap<K> {
-    /// Iterative drop — pairing trees can grow deep under meld-heavy scripts.
-    fn drop(&mut self) {
-        let mut stack: Vec<PNode<K>> = Vec::new();
-        stack.extend(self.root.take());
-        while let Some(mut n) = stack.pop() {
-            stack.append(&mut n.children);
-        }
-    }
-}
-
-impl<K: Ord> MeldableHeap<K> for PairingHeap<K> {
+impl<K: Ord + Clone> MeldableHeap<K> for PairingHeap<K> {
     fn new() -> Self {
-        PairingHeap {
-            root: None,
-            len: 0,
-            stats: OpStats::new(),
-        }
+        PairingHeap::default()
     }
 
     fn len(&self) -> usize {
@@ -116,36 +245,76 @@ impl<K: Ord> MeldableHeap<K> for PairingHeap<K> {
     }
 
     fn insert(&mut self, key: K) {
+        let v = self.alloc(key, None);
         self.len += 1;
-        let n = PNode {
-            key,
-            children: Vec::new(),
+        self.root = if self.root == NONE32 {
+            v
+        } else {
+            self.link(self.root, v)
         };
-        self.root = Some(match self.root.take() {
-            None => n,
-            Some(r) => r.link(n, &self.stats),
-        });
     }
 
     fn min(&self) -> Option<&K> {
-        self.root.as_ref().map(|n| &n.key)
+        if self.root == NONE32 {
+            None
+        } else {
+            Some(&self.nodes[self.root as usize].key)
+        }
     }
 
     fn extract_min(&mut self) -> Option<K> {
-        let root = self.root.take()?;
+        if self.root == NONE32 {
+            return None;
+        }
+        let r = self.root;
+        let key = self.nodes[r as usize].key.clone();
+        if let Some(h) = self.nodes[r as usize].item.take() {
+            self.tracked.remove(&h);
+        }
         self.len -= 1;
-        self.root = Self::two_pass(root.children, &self.stats);
-        Some(root.key)
+        let mut kids = mem::take(&mut self.nodes[r as usize].children);
+        self.root = self.combine_children(&kids);
+        if self.root != NONE32 {
+            self.nodes[self.root as usize].parent = NONE32;
+        }
+        // Return the (cleared, capacity-bearing) child vec and free the slot.
+        kids.clear();
+        self.nodes[r as usize].children = kids;
+        self.nodes[r as usize].free = true;
+        self.free.push(r);
+        Some(key)
     }
 
-    fn meld(&mut self, mut other: Self) {
-        self.stats.absorb(&other.stats);
+    fn meld(&mut self, other: Self) {
+        self.stats.absorb(other.stats());
+        if other.len == 0 {
+            return;
+        }
+        if self.len == 0 {
+            let stats = mem::take(&mut self.stats);
+            let strategy = self.strategy;
+            *self = other;
+            self.stats = stats;
+            self.strategy = strategy;
+            return;
+        }
+        let off = self.nodes.len() as u32;
+        self.nodes.reserve(other.nodes.len());
+        for mut slot in other.nodes {
+            if slot.parent != NONE32 {
+                slot.parent += off;
+            }
+            for c in &mut slot.children {
+                *c += off;
+            }
+            self.nodes.push(slot);
+        }
+        self.free.extend(other.free.iter().map(|f| f + off));
+        self.tracked
+            .extend(other.tracked.iter().map(|(h, n)| (*h, n + off)));
         self.len += other.len;
-        other.len = 0;
-        self.root = match (self.root.take(), other.root.take()) {
-            (None, r) | (r, None) => r,
-            (Some(a), Some(b)) => Some(a.link(b, &self.stats)),
-        };
+        let other_root = other.root + off;
+        self.root = self.link(self.root, other_root);
     }
 
     fn stats(&self) -> &OpStats {
@@ -154,6 +323,50 @@ impl<K: Ord> MeldableHeap<K> for PairingHeap<K> {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+}
+
+impl<K: Ord + Clone> DecreaseKeyHeap<K> for PairingHeap<K> {
+    fn insert_tracked(&mut self, key: K) -> Handle {
+        let h = mint();
+        let v = self.alloc(key, Some(h.raw()));
+        self.len += 1;
+        self.root = if self.root == NONE32 {
+            v
+        } else {
+            self.link(self.root, v)
+        };
+        self.tracked.insert(h.raw(), v);
+        h
+    }
+
+    fn decrease_key(&mut self, h: Handle, new_key: K) -> bool {
+        let Some(&u) = self.tracked.get(&h.raw()) else {
+            return false;
+        };
+        self.stats.add_comparisons(1);
+        if new_key > self.nodes[u as usize].key {
+            return false;
+        }
+        self.nodes[u as usize].key = new_key;
+        if u == self.root {
+            return true;
+        }
+        // Cut u's subtree from its parent and relink with the root.
+        let p = self.nodes[u as usize].parent;
+        let pos = self.nodes[p as usize].children.iter().position(|&c| c == u);
+        if let Some(pos) = pos {
+            // Child order is irrelevant in a pairing heap.
+            self.nodes[p as usize].children.swap_remove(pos);
+        }
+        self.nodes[u as usize].parent = NONE32;
+        self.root = self.link(self.root, u);
+        true
+    }
+
+    fn tracked_key(&self, h: Handle) -> Option<K> {
+        let n = *self.tracked.get(&h.raw())?;
+        Some(self.nodes[n as usize].key.clone())
     }
 }
 
@@ -172,6 +385,16 @@ mod tests {
     }
 
     #[test]
+    fn multipass_sorts_correctly() {
+        let mut h = PairingHeap::with_strategy(MergeStrategy::MultiPass);
+        for k in [3, 1, 4, 1, 5, 9, 2, 6, -3, 0] {
+            h.insert(k);
+        }
+        assert!(h.validate().is_ok());
+        assert_eq!(h.into_sorted_vec(), vec![-3, 0, 1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
     fn meld_is_constant_link() {
         let mut a = PairingHeap::from_iter_keys([2, 8]);
         let b = PairingHeap::from_iter_keys([1, 9]);
@@ -182,9 +405,52 @@ mod tests {
     }
 
     #[test]
+    fn meld_keeps_left_strategy() {
+        let mut a: PairingHeap<i64> = PairingHeap::with_strategy(MergeStrategy::MultiPass);
+        let mut b = PairingHeap::new();
+        b.insert(5);
+        a.meld(b);
+        assert_eq!(a.strategy(), MergeStrategy::MultiPass);
+        assert_eq!(a.extract_min(), Some(5));
+    }
+
+    #[test]
     fn extract_on_empty() {
         let mut h: PairingHeap<i64> = PairingHeap::new();
         assert_eq!(h.extract_min(), None);
+    }
+
+    #[test]
+    fn decrease_key_cut_and_relink() {
+        let mut h: PairingHeap<i64> = PairingHeap::new();
+        for k in 0..64 {
+            h.insert(k + 100);
+        }
+        let t = h.insert_tracked(500);
+        assert_eq!(h.tracked_key(t), Some(500));
+        assert!(h.decrease_key(t, -1));
+        assert_eq!(h.tracked_key(t), Some(-1));
+        h.validate().expect("valid after decrease");
+        assert_eq!(h.extract_min(), Some(-1));
+        assert_eq!(h.tracked_key(t), None);
+        assert!(!h.decrease_key(t, -2), "stale handle must refuse");
+    }
+
+    #[test]
+    fn slot_reuse_recycles_arena() {
+        let mut h: PairingHeap<i64> = PairingHeap::new();
+        for k in 0..100 {
+            h.insert(k);
+        }
+        let slots = h.arena_slots();
+        for _ in 0..50 {
+            h.extract_min();
+        }
+        for k in 0..50 {
+            h.insert(k);
+        }
+        assert_eq!(h.arena_slots(), slots, "freed slots must be reused");
+        h.validate().expect("valid after churn");
     }
 
     #[test]

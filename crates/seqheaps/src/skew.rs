@@ -6,6 +6,7 @@
 //! formulation (cut both right spines, merge them by key, reattach swapping
 //! children), so a single pathological operation cannot overflow the stack.
 
+use crate::decrease::{DecreaseKeyHeap, Handle, TrackedKeys};
 use crate::stats::OpStats;
 use crate::traits::MeldableHeap;
 
@@ -18,12 +19,35 @@ struct SNode<K> {
     right: Link<K>,
 }
 
+impl<K> crate::decrease::BinaryNode<K> for SNode<K> {
+    fn key(&self) -> &K {
+        &self.key
+    }
+    fn key_mut(&mut self) -> &mut K {
+        &mut self.key
+    }
+    fn left(&self) -> Option<&Self> {
+        self.left.as_deref()
+    }
+    fn right(&self) -> Option<&Self> {
+        self.right.as_deref()
+    }
+    fn left_mut(&mut self) -> Option<&mut Self> {
+        self.left.as_deref_mut()
+    }
+    fn right_mut(&mut self) -> Option<&mut Self> {
+        self.right.as_deref_mut()
+    }
+}
+
 /// A skew (min-)heap.
 #[derive(Debug, Default)]
 pub struct SkewHeap<K> {
     root: Link<K>,
     len: usize,
     stats: OpStats,
+    /// Handle bookkeeping for the sift-based `decrease_key`.
+    tracked: TrackedKeys<K>,
 }
 
 impl<K: Clone> Clone for SkewHeap<K> {
@@ -32,6 +56,7 @@ impl<K: Clone> Clone for SkewHeap<K> {
             root: self.root.clone(),
             len: self.len,
             stats: self.stats.clone(),
+            tracked: self.tracked.clone(),
         }
     }
 }
@@ -94,6 +119,10 @@ impl<K: Ord> SkewHeap<K> {
         if count != self.len {
             return Err(format!("len {} but tree holds {count}", self.len));
         }
+        self.tracked.check()?;
+        if self.tracked.len() > self.len {
+            return Err("more tracked handles than elements".into());
+        }
         Ok(())
     }
 }
@@ -116,6 +145,7 @@ impl<K: Ord> MeldableHeap<K> for SkewHeap<K> {
             root: None,
             len: 0,
             stats: OpStats::new(),
+            tracked: TrackedKeys::default(),
         }
     }
 
@@ -141,6 +171,7 @@ impl<K: Ord> MeldableHeap<K> for SkewHeap<K> {
         let mut root = self.root.take()?;
         self.len -= 1;
         self.root = Self::merge(root.left.take(), root.right.take(), &self.stats);
+        self.tracked.on_extract(&root.key);
         Some(root.key)
     }
 
@@ -148,6 +179,7 @@ impl<K: Ord> MeldableHeap<K> for SkewHeap<K> {
         self.stats.absorb(&other.stats);
         self.len += other.len;
         other.len = 0;
+        self.tracked.merge(std::mem::take(&mut other.tracked));
         self.root = Self::merge(self.root.take(), other.root.take(), &self.stats);
     }
 
@@ -157,6 +189,37 @@ impl<K: Ord> MeldableHeap<K> for SkewHeap<K> {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+}
+
+impl<K: Ord + Clone> DecreaseKeyHeap<K> for SkewHeap<K> {
+    fn insert_tracked(&mut self, key: K) -> Handle {
+        let h = self.tracked.track(key.clone());
+        self.insert(key);
+        h
+    }
+
+    fn decrease_key(&mut self, h: Handle, new_key: K) -> bool {
+        let Some(old) = self.tracked.key_of(h).cloned() else {
+            return false;
+        };
+        if new_key > old {
+            return false;
+        }
+        if new_key == old {
+            return true;
+        }
+        self.tracked.rekey(h, new_key.clone());
+        let found = match self.root.as_deref_mut() {
+            Some(r) => crate::decrease::binary_decrease(r, &old, &new_key, &self.stats),
+            None => false,
+        };
+        debug_assert!(found, "tracked key must be present in the tree");
+        found
+    }
+
+    fn tracked_key(&self, h: Handle) -> Option<K> {
+        self.tracked.key_of(h).cloned()
     }
 }
 
@@ -191,6 +254,32 @@ mod tests {
         }
         assert_eq!(h.extract_min(), Some(0));
         drop(h);
+    }
+
+    #[test]
+    fn decrease_key_on_deep_sorted_chain() {
+        // Sorted inserts build a deep left-leaning shape; the iterative
+        // sift must survive where recursion would overflow.
+        let mut h = SkewHeap::new();
+        for k in 0..100_000 {
+            h.insert(k);
+        }
+        let t = h.insert_tracked(100_000);
+        assert!(h.decrease_key(t, -1));
+        assert_eq!(h.extract_min(), Some(-1));
+        assert_eq!(h.tracked_key(t), None);
+    }
+
+    #[test]
+    fn decrease_key_keeps_heap_order() {
+        let mut h = SkewHeap::new();
+        for k in [6, 2, 9, 2, 0, 5] {
+            h.insert(k);
+        }
+        let t = h.insert_tracked(9);
+        assert!(h.decrease_key(t, 1));
+        h.validate().expect("valid after decrease");
+        assert_eq!(h.into_sorted_vec(), vec![0, 1, 2, 2, 5, 6, 9]);
     }
 
     #[test]

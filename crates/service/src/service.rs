@@ -4,13 +4,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use meldpq::{ArenaStats, Engine};
+use meldpq::{ArenaStats, Backend, Engine};
 use obs::flight::{self, EventKind};
 use obs::Registry;
 
 use crate::batch::{OpSlot, Request, Response};
 use crate::metrics::ShardStats;
-use crate::shard::{Shard, ShardState};
+use crate::shard::{Shard, ShardState, TenantHeap};
 use crate::snapshot::{ServiceSnapshot, ShardSnapshot};
 use crate::ServiceError;
 
@@ -68,6 +68,7 @@ pub struct ServiceBuilder {
     shards: usize,
     engine: Engine,
     bulk_threshold: usize,
+    backend: Backend,
 }
 
 impl Default for ServiceBuilder {
@@ -80,13 +81,18 @@ impl Default for ServiceBuilder {
             // crossover (probed at first use, env-overridable with
             // MELDPQ_BATCH_CUTOFF) instead of a guessed constant.
             bulk_threshold: meldpq::cutoff::batch_bulk_cutoff().max(2),
+            // The measured-fastest engine for the service workload class
+            // (the committed shootout selection table), env-pinnable with
+            // MELDPQ_BACKEND.
+            backend: meldpq::backend::default_backend(),
         }
     }
 }
 
 impl ServiceBuilder {
     /// Start from the defaults (4 shards, sequential planner, bulk builds
-    /// from the calibrated batch cutoff up).
+    /// from the calibrated batch cutoff up, backend from the shootout
+    /// selection table).
     pub fn new() -> Self {
         Self::default()
     }
@@ -110,13 +116,24 @@ impl ServiceBuilder {
         self
     }
 
+    /// Queue engine newly created tenant queues use. Defaults to
+    /// [`meldpq::backend::default_backend`] — the measured shootout winner
+    /// for the service workload class, overridable with `MELDPQ_BACKEND`.
+    /// [`Backend::Pooled`] keeps the zero-copy shared-slab path; any other
+    /// backend boxes a self-contained engine per queue.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Build the service.
     pub fn build(self) -> QueueService {
         QueueService {
             shards: (0..self.shards)
-                .map(|i| Shard::new(i as u16, self.engine, self.bulk_threshold))
+                .map(|i| Shard::new(i as u16, self.engine, self.bulk_threshold, self.backend))
                 .collect(),
             rr: AtomicUsize::new(0),
+            backend: self.backend,
         }
     }
 }
@@ -185,6 +202,7 @@ impl Ticket {
 pub struct QueueService {
     shards: Vec<Arc<Shard>>,
     rr: AtomicUsize,
+    backend: Backend,
 }
 
 impl Default for QueueService {
@@ -204,6 +222,11 @@ impl QueueService {
         self.shards.len()
     }
 
+    /// The queue engine this service creates tenant queues with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     fn shard(&self, id: QueueId) -> Result<&Arc<Shard>, ServiceError> {
         self.shards
             .get(id.shard() as usize)
@@ -220,8 +243,10 @@ impl QueueService {
     pub fn destroy_queue(&self, id: QueueId) -> Result<usize, ServiceError> {
         let shard = self.shard(id)?;
         let mut st = shard.lock_state();
-        let heap = st.take_queue(id)?;
-        Ok(st.pool.free_heap(heap))
+        match st.take_queue(id)? {
+            TenantHeap::Pooled(heap) => Ok(st.pool.free_heap(heap)),
+            TenantHeap::Boxed(q) => Ok(q.len()),
+        }
     }
 
     // ----- async surface: deposit now, wait on the ticket later ---------
@@ -397,7 +422,15 @@ impl QueueService {
                 ..
             } = &mut *st;
             let q = queues[dst.slot() as usize].as_mut().expect("checked above");
-            pool.meld(&mut q.heap, src_heap);
+            match (&mut q.heap, src_heap) {
+                // Same pool: zero-copy plan application.
+                (TenantHeap::Pooled(d), TenantHeap::Pooled(s)) => pool.meld(d, s),
+                // Backend-agnostic fallback: drain ascending, reinsert bulk.
+                (dst_heap, mut src_heap) => {
+                    let keys = src_heap.drain_all(pool);
+                    dst_heap.bulk_insert(pool, &keys);
+                }
+            }
             stats.melds_same_shard += 1;
             return Ok(());
         }
@@ -426,7 +459,15 @@ impl QueueService {
             ..
         } = dst_state;
         let q = queues[dst.slot() as usize].as_mut().expect("checked above");
-        pool.meld_cross_pool(&mut q.heap, &mut src_state.pool, src_heap);
+        match (&mut q.heap, src_heap) {
+            (TenantHeap::Pooled(d), TenantHeap::Pooled(s)) => {
+                pool.meld_cross_pool(d, &mut src_state.pool, s);
+            }
+            (dst_heap, mut src_heap) => {
+                let keys = src_heap.drain_all(&mut src_state.pool);
+                dst_heap.bulk_insert(pool, &keys);
+            }
+        }
         stats.melds_cross_shard += 1;
         Ok(())
     }
@@ -491,13 +532,17 @@ impl QueueService {
     }
 
     /// Deep structural validation of every live queue on every shard.
+    /// (Boxed backends validate internally via `debug_assert`s and the
+    /// differential fuzzer; only pooled heaps expose a deep check here.)
     pub fn validate(&self) -> Result<(), String> {
         for (i, s) in self.shards.iter().enumerate() {
             let st = s.lock_state();
             for q in st.queues.iter().flatten() {
-                st.pool
-                    .validate_heap(&q.heap)
-                    .map_err(|e| format!("shard {i}: {e}"))?;
+                if let TenantHeap::Pooled(h) = &q.heap {
+                    st.pool
+                        .validate_heap(h)
+                        .map_err(|e| format!("shard {i}: {e}"))?;
+                }
             }
         }
         Ok(())
@@ -550,6 +595,34 @@ mod tests {
     }
 
     #[test]
+    fn boxed_backends_serve_the_full_request_surface() {
+        // Non-pooled tenants route through TenantHeap::Boxed: melds fall
+        // back to drain + bulk reinsert but the observable semantics are
+        // identical to the zero-copy pooled path.
+        for backend in [Backend::Hollow, Backend::Pairing, Backend::Lazy] {
+            let svc = ServiceBuilder::new().shards(2).backend(backend).build();
+            assert_eq!(svc.backend(), backend);
+            let a = svc.create_queue(); // shard 0
+            let b = svc.create_queue(); // shard 1
+            let c = svc.create_queue(); // shard 0
+            svc.multi_insert(a, vec![4, 1]).unwrap();
+            svc.multi_insert(b, vec![5, 2]).unwrap();
+            svc.multi_insert(c, vec![6, 3]).unwrap();
+            svc.meld(a, c).unwrap(); // same shard
+            svc.meld(a, b).unwrap(); // cross shard
+            assert_eq!(svc.peek_min(a).unwrap(), Some(1), "{}", backend.name());
+            assert_eq!(
+                svc.extract_k(a, 6).unwrap(),
+                vec![1, 2, 3, 4, 5, 6],
+                "{}",
+                backend.name()
+            );
+            svc.validate().unwrap();
+            assert_eq!(svc.destroy_queue(a).unwrap(), 0);
+        }
+    }
+
+    #[test]
     fn meld_with_stale_dst_preserves_src() {
         let svc = ServiceBuilder::new().shards(1).build();
         let a = svc.create_queue();
@@ -583,7 +656,13 @@ mod tests {
 
     #[test]
     fn registry_and_arena_snapshots() {
-        let svc = ServiceBuilder::new().shards(1).bulk_threshold(2).build();
+        // Arena counters are a pooled-backend property: pin it so a
+        // MELDPQ_BACKEND env pin can't redirect the assertion target.
+        let svc = ServiceBuilder::new()
+            .shards(1)
+            .bulk_threshold(2)
+            .backend(Backend::Pooled)
+            .build();
         let q = svc.create_queue();
         svc.multi_insert(q, (0..64).collect()).unwrap();
         let mut reg = Registry::new();

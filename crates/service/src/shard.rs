@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use meldpq::pool::PooledHeap;
-use meldpq::{Engine, HeapPool};
+use meldpq::{Backend, Engine, HeapPool, MeldablePq};
 use obs::flight::{self, EventKind};
 use obs::LatencyHistogram;
 
@@ -34,12 +34,94 @@ use crate::metrics::ShardStats;
 use crate::service::QueueId;
 use crate::ServiceError;
 
-/// One tenant queue: a pooled heap plus the generation stamped into the
+/// One tenant queue's storage. The shard's configured [`Backend`] decides
+/// the variant at creation: [`Backend::Pooled`] queues live in the shard's
+/// shared [`HeapPool`] slab (zero-copy melds, bulk slab builds); every
+/// other backend is a self-contained boxed engine behind the
+/// [`MeldablePq`] surface.
+pub(crate) enum TenantHeap {
+    /// A heap in the shard's shared pool.
+    Pooled(PooledHeap),
+    /// A self-contained engine chosen by the backend table.
+    Boxed(Box<dyn MeldablePq<i64> + Send>),
+}
+
+impl std::fmt::Debug for TenantHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantHeap::Pooled(h) => write!(f, "TenantHeap::Pooled(len={})", h.len()),
+            TenantHeap::Boxed(q) => write!(f, "TenantHeap::Boxed(len={})", q.len()),
+        }
+    }
+}
+
+impl TenantHeap {
+    /// Number of keys stored.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            TenantHeap::Pooled(h) => h.len(),
+            TenantHeap::Boxed(q) => q.len(),
+        }
+    }
+
+    /// `Insert` one key.
+    pub(crate) fn insert(&mut self, pool: &mut HeapPool<i64>, key: i64) {
+        match self {
+            TenantHeap::Pooled(h) => pool.insert(h, key),
+            TenantHeap::Boxed(q) => q.insert(key),
+        }
+    }
+
+    /// Coalesced bulk admission: the pooled variant goes through the
+    /// parallel slab builder + one meld; boxed engines use their own
+    /// `multi_insert` (which batched engines override).
+    pub(crate) fn bulk_insert(&mut self, pool: &mut HeapPool<i64>, keys: &[i64]) {
+        match self {
+            TenantHeap::Pooled(h) => {
+                let built = pool.from_keys_parallel(keys);
+                pool.meld(h, built);
+            }
+            TenantHeap::Boxed(q) => q.multi_insert(keys),
+        }
+    }
+
+    /// `Extract-Min`.
+    pub(crate) fn extract_min(&mut self, pool: &mut HeapPool<i64>) -> Option<i64> {
+        match self {
+            TenantHeap::Pooled(h) => pool.extract_min(h),
+            TenantHeap::Boxed(q) => q.extract_min(),
+        }
+    }
+
+    /// `Multi-Extract-Min`: up to `k` smallest keys, ascending.
+    pub(crate) fn multi_extract(&mut self, pool: &mut HeapPool<i64>, k: usize) -> Vec<i64> {
+        match self {
+            TenantHeap::Pooled(h) => pool.multi_extract_min(h, k),
+            TenantHeap::Boxed(q) => q.multi_extract_min(k),
+        }
+    }
+
+    /// `Min` without removal (`&mut` because lazy engines tidy on reads).
+    pub(crate) fn peek_min(&mut self, pool: &mut HeapPool<i64>) -> Option<i64> {
+        match self {
+            TenantHeap::Pooled(h) => pool.min(h),
+            TenantHeap::Boxed(q) => q.peek_min(),
+        }
+    }
+
+    /// Drain everything ascending (the backend-agnostic meld fallback).
+    pub(crate) fn drain_all(&mut self, pool: &mut HeapPool<i64>) -> Vec<i64> {
+        let n = self.len();
+        self.multi_extract(pool, n)
+    }
+}
+
+/// One tenant queue: its storage plus the generation stamped into the
 /// handles that may address it.
 #[derive(Debug)]
 pub(crate) struct TenantQueue {
     pub(crate) gen: u32,
-    pub(crate) heap: PooledHeap,
+    pub(crate) heap: TenantHeap,
 }
 
 /// The lock-protected half of a shard.
@@ -57,6 +139,8 @@ pub(crate) struct ShardState {
     /// Coalesced insert batches at or above this size go through the bulk
     /// slab builder instead of one-by-one ripple inserts.
     bulk_threshold: usize,
+    /// Which engine newly created tenant queues get.
+    backend: Backend,
 }
 
 impl ShardState {
@@ -68,9 +152,17 @@ impl ShardState {
             .filter(|q| q.gen == id.generation())
     }
 
+    /// A fresh, empty tenant heap of the shard's configured backend.
+    pub(crate) fn new_tenant_heap(&mut self) -> TenantHeap {
+        match self.backend {
+            Backend::Pooled => TenantHeap::Pooled(self.pool.new_heap()),
+            other => TenantHeap::Boxed(other.make()),
+        }
+    }
+
     /// Remove the queue addressed by `id`, freeing its slot for reuse under
     /// a bumped generation.
-    pub(crate) fn take_queue(&mut self, id: QueueId) -> Result<PooledHeap, ServiceError> {
+    pub(crate) fn take_queue(&mut self, id: QueueId) -> Result<TenantHeap, ServiceError> {
         let slot = id.slot() as usize;
         let current = self
             .queues
@@ -97,7 +189,12 @@ pub struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(index: u16, engine: Engine, bulk_threshold: usize) -> Arc<Self> {
+    pub(crate) fn new(
+        index: u16,
+        engine: Engine,
+        bulk_threshold: usize,
+        backend: Backend,
+    ) -> Arc<Self> {
         Arc::new(Shard {
             index,
             ingress: Ingress::new(),
@@ -108,6 +205,7 @@ impl Shard {
                 stats: ShardStats::default(),
                 latency: LatencyHistogram::new(),
                 bulk_threshold: bulk_threshold.max(2),
+                backend,
             }),
         })
     }
@@ -212,12 +310,12 @@ impl Shard {
         let mut st = self.lock_state();
         st.stats.queues_created += 1;
         if let Some((slot, gen)) = st.free_slots.pop() {
-            let heap = st.pool.new_heap();
+            let heap = st.new_tenant_heap();
             st.queues[slot as usize] = Some(TenantQueue { gen, heap });
             QueueId::new(self.index, slot, gen)
         } else {
             let slot = st.queues.len() as u32;
-            let heap = st.pool.new_heap();
+            let heap = st.new_tenant_heap();
             st.queues.push(Some(TenantQueue { gen: 0, heap }));
             QueueId::new(self.index, slot, 0)
         }
@@ -274,28 +372,27 @@ fn execute_single(st: &mut ShardState, req: &Request) -> Response {
     };
     match req {
         Request::Insert { key, .. } => {
-            pool.insert(&mut q.heap, *key);
+            q.heap.insert(pool, *key);
             stats.single_inserts += 1;
             Response::Done
         }
         Request::MultiInsert { keys, .. } => {
             if keys.len() >= bulk_threshold {
                 flight::record_here(EventKind::BulkAdmission, keys.len() as u64);
-                let built = pool.from_keys_parallel(keys);
-                pool.meld(&mut q.heap, built);
+                q.heap.bulk_insert(pool, keys);
                 stats.bulk_builds += 1;
                 stats.coalesced_inserts += keys.len() as u64;
             } else {
                 for &k in keys {
-                    pool.insert(&mut q.heap, k);
+                    q.heap.insert(pool, k);
                 }
                 stats.single_inserts += keys.len() as u64;
             }
             Response::Done
         }
-        Request::ExtractMin { .. } => Response::Key(pool.extract_min(&mut q.heap)),
+        Request::ExtractMin { .. } => Response::Key(q.heap.extract_min(pool)),
         Request::ExtractK { k, .. } => {
-            let out = pool.multi_extract_min(&mut q.heap, *k);
+            let out = q.heap.multi_extract(pool, *k);
             if *k >= 2 {
                 flight::record_here(EventKind::MultiExtract, out.len() as u64);
                 stats.multi_extracts += 1;
@@ -303,7 +400,7 @@ fn execute_single(st: &mut ShardState, req: &Request) -> Response {
             }
             Response::Keys(out)
         }
-        Request::PeekMin { .. } => Response::Key(pool.min(&q.heap)),
+        Request::PeekMin { .. } => Response::Key(q.heap.peek_min(pool)),
         Request::Len { .. } => Response::Len(q.heap.len()),
     }
 }
@@ -356,20 +453,19 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         .unwrap_or(obs::TraceId::NONE);
     if keys.len() >= bulk_threshold {
         flight::record(group_trace, EventKind::BulkAdmission, keys.len() as u64);
-        let built = pool.from_keys_parallel(&keys);
-        pool.meld(&mut q.heap, built);
+        q.heap.bulk_insert(pool, &keys);
         stats.bulk_builds += 1;
         stats.coalesced_inserts += keys.len() as u64;
     } else {
         for &k in &keys {
-            pool.insert(&mut q.heap, k);
+            q.heap.insert(pool, k);
         }
         stats.single_inserts += keys.len() as u64;
     }
 
     // Phase 2 — the whole pop demand as one ascending pull.
     let pulled = if demand > 0 {
-        pool.multi_extract_min(&mut q.heap, demand)
+        q.heap.multi_extract(pool, demand)
     } else {
         Vec::new()
     };
@@ -400,7 +496,7 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
             Request::PeekMin { .. } => Response::Key(if j < pulled.len() {
                 Some(pulled[j])
             } else {
-                pool.min(&q.heap)
+                q.heap.peek_min(pool)
             }),
             Request::Len { .. } => Response::Len(q.heap.len() + (pulled.len() - j)),
         };
@@ -429,7 +525,7 @@ mod tests {
 
     #[test]
     fn single_thread_batch_semantics() {
-        let shard = Shard::new(0, Engine::Sequential, 4);
+        let shard = Shard::new(0, Engine::Sequential, 4, Backend::Pooled);
         let q = shard.create_queue();
         // Deposit a mixed batch without combining in between: the shard has
         // no state-lock holder, so each submit's try_combine serves it — use
@@ -465,7 +561,7 @@ mod tests {
 
     #[test]
     fn stale_handle_is_rejected() {
-        let shard = Shard::new(0, Engine::Sequential, 8);
+        let shard = Shard::new(0, Engine::Sequential, 8, Backend::Pooled);
         let q = shard.create_queue();
         {
             let mut st = shard.lock_state();
@@ -486,7 +582,7 @@ mod tests {
 
     #[test]
     fn over_demand_pops_return_empty() {
-        let shard = Shard::new(3, Engine::Sequential, 8);
+        let shard = Shard::new(3, Engine::Sequential, 8, Backend::Pooled);
         let q = shard.create_queue();
         let s1 = shard.ingress.push(Request::Insert { queue: q, key: 7 });
         let s2 = shard.ingress.push(Request::ExtractMin { queue: q });
