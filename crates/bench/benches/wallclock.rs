@@ -287,6 +287,73 @@ fn bench_flight(c: &mut Criterion, _full: bool) {
     group.finish();
 }
 
+/// Durability's wall-clock price: the same batched service workload with
+/// the write-ahead log on (`durable/wal_on`) and off (`durable/wal_off`).
+/// Each round is one bulk `multi_insert` (well past the batch cutoff, so
+/// it takes the coalesced bulk path) plus one `extract_k`; through the
+/// sync surface each op appends one record (`FromKeys` /
+/// `MultiExtractMin`) and flushes once, so a round pays two `write(2)`
+/// calls plus a word-folded CRC over the batch — costs that amortize over
+/// the 1024-key batch. That amortization is the durability story the
+/// gate's ≤1.15× bound holds the service to: per-record overhead must
+/// stay an accounting charge, not a second copy of the workload.
+fn bench_durable(c: &mut Criterion, _full: bool) {
+    let mut group = c.benchmark_group("durable");
+    const ROUNDS: usize = DURABLE_GATE_N / DURABLE_BATCH;
+    let mut rng = workloads::rng(0xD1AB);
+    let keys = workloads::random_keys(&mut rng, ROUNDS * DURABLE_BATCH);
+    let root = std::env::temp_dir().join(format!("meldpq-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let run = |svc: service::QueueService| {
+        let q = svc.create_queue();
+        for round in 0..ROUNDS {
+            let batch = keys[round * DURABLE_BATCH..(round + 1) * DURABLE_BATCH].to_vec();
+            svc.multi_insert(q, batch).expect("insert batch");
+            let got = svc.extract_k(q, DURABLE_BATCH / 4).expect("extract");
+            assert_eq!(got.len(), DURABLE_BATCH / 4);
+        }
+        svc
+    };
+    let fresh_id = std::sync::atomic::AtomicU64::new(0);
+    group.bench_with_input(
+        BenchmarkId::new("wal_on", DURABLE_GATE_N),
+        &DURABLE_GATE_N,
+        |b, _| {
+            b.iter_batched(
+                || {
+                    // A fresh directory per iteration: recovery cost stays in
+                    // the (untimed) setup and never compounds.
+                    let dir = root.join(
+                        fresh_id
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            .to_string(),
+                    );
+                    ServiceBuilder::new()
+                        .shards(1)
+                        .durable(dir)
+                        .try_build()
+                        .expect("durable build")
+                },
+                run,
+                BatchSize::LargeInput,
+            )
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("wal_off", DURABLE_GATE_N),
+        &DURABLE_GATE_N,
+        |b, _| {
+            b.iter_batched(
+                || ServiceBuilder::new().shards(1).build(),
+                run,
+                BatchSize::LargeInput,
+            )
+        },
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// The O(1) peek satellite: `min_root` now answers from the cached
 /// `NodeId` every mutator refreshes, vs the pre-cache behavior of
 /// rescanning the root list (still exposed as `min_root_scan`). Each iter
@@ -418,6 +485,15 @@ const FLIGHT_GATE_N: usize = 4096;
 const PEEK_GATE_N: usize = 1 << 18;
 /// The recorder-on arm may cost at most 1.1× the recorder-off arm.
 const FLIGHT_BOUND: f64 = 1.1;
+/// Keys per coalesced batch in the durability overhead workload — far past
+/// the CI pin `MELDPQ_BATCH_CUTOFF=64`, so every batch takes the bulk path
+/// and the per-record WAL cost (one CRC + one `write(2)`) amortizes the
+/// way a batched durable deployment would run it.
+const DURABLE_BATCH: usize = 1024;
+/// Total keys the durability workload admits per iteration (8 rounds).
+const DURABLE_GATE_N: usize = 8 * DURABLE_BATCH;
+/// The WAL-on arm may cost at most 1.15× the WAL-off arm.
+const WAL_BOUND: f64 = 1.15;
 
 fn gates() -> Vec<Gate> {
     vec![
@@ -456,6 +532,12 @@ fn gates() -> Vec<Gate> {
             fast: format!("flight/recorder_on/{FLIGHT_GATE_N}"),
             slow: format!("flight/recorder_off/{FLIGHT_GATE_N}"),
             threshold: 1.0 / FLIGHT_BOUND,
+        },
+        Gate {
+            name: "wal_append_overhead",
+            fast: format!("durable/wal_on/{DURABLE_GATE_N}"),
+            slow: format!("durable/wal_off/{DURABLE_GATE_N}"),
+            threshold: 1.0 / WAL_BOUND,
         },
     ]
 }
@@ -520,6 +602,7 @@ fn main() {
     bench_multi_extract(&mut c, full);
     bench_mixed(&mut c, full);
     bench_flight(&mut c, full);
+    bench_durable(&mut c, full);
     bench_peek(&mut c, full);
     bench_scans(&mut c);
     bench_bulk_build(&mut c, full);

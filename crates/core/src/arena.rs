@@ -110,6 +110,10 @@ impl<K> Arena<K> {
                 NodeId(idx)
             }
             None => {
+                assert!(
+                    self.nodes.len() < u32::MAX as usize,
+                    "arena slab exceeds the u32 id space"
+                );
                 self.nodes.push(Some(node));
                 NodeId((self.nodes.len() - 1) as u32)
             }
@@ -161,6 +165,10 @@ impl<K> Arena<K> {
                 NodeId(idx)
             }
             None => {
+                assert!(
+                    self.nodes.len() < u32::MAX as usize,
+                    "arena slab exceeds the u32 id space"
+                );
                 self.nodes.push(Some(node));
                 NodeId((self.nodes.len() - 1) as u32)
             }
@@ -178,6 +186,41 @@ impl<K> Arena<K> {
         } else {
             self.nodes.extend(slab);
         }
+    }
+
+    /// Raw slab view for checkpoint serialization: every slot, dead or alive,
+    /// in id order. Dead slots are the free list.
+    pub(crate) fn raw_slots(&self) -> &[Option<Node<K>>] {
+        &self.nodes
+    }
+
+    /// The free-list slots, in pop order (last entry is popped first).
+    pub(crate) fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuild an arena from a checkpoint image. The caller guarantees that
+    /// `free` names exactly the `None` slots of `nodes`; this is re-checked
+    /// here because the image crosses a trust boundary (it was read from
+    /// disk).
+    pub(crate) fn from_raw_parts(nodes: Vec<Option<Node<K>>>, free: Vec<u32>) -> Option<Self> {
+        let dead = nodes.iter().filter(|s| s.is_none()).count();
+        if free.len() != dead {
+            return None;
+        }
+        let mut seen = vec![false; nodes.len()];
+        for &f in &free {
+            let slot = nodes.get(f as usize)?;
+            if slot.is_some() || seen[f as usize] {
+                return None;
+            }
+            seen[f as usize] = true;
+        }
+        Some(Arena {
+            nodes,
+            free,
+            stats: ArenaStats::default(),
+        })
     }
 
     /// Absorb all nodes of `other`, returning a remapping function applied to

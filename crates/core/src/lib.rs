@@ -47,6 +47,7 @@ pub mod meldable;
 pub mod plan;
 pub mod pool;
 pub mod viz;
+pub mod wal;
 
 pub use arena::{Arena, ArenaStats, Node, NodeId};
 pub use backend::{Backend, WorkloadClass};
@@ -55,4 +56,5 @@ pub use decrease::{DecreaseKeyPq, IndexedBinomialPq, LazyDecreasePq, PqHandle};
 pub use heap::{Engine, ParBinomialHeap};
 pub use meldable::{MeldablePq, PoolGuard, PramMeasured};
 pub use plan::{LinkOp, PointType, RootRef, UnionPlan};
-pub use pool::{HeapPool, PooledHeap};
+pub use pool::{CapacityError, HeapPool, PooledHeap};
+pub use wal::{DurablePool, WalError, WalOp, WalWriter};

@@ -44,6 +44,31 @@ static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PoolId(u64);
 
+/// Typed admission error: accepting `requested` more nodes would push the
+/// slab past the `u32` [`NodeId`] space, so the build is refused *before*
+/// any id is baked. (The old behavior was a silent `as u32` wrap deep in
+/// the parallel builder — corrupted NodeIds instead of an error.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Nodes the caller asked to admit.
+    pub requested: usize,
+    /// Slab slots already in use (live + free) at admission time.
+    pub slab_len: usize,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool capacity exceeded: slab holds {} slots, admitting {} more \
+             would overflow the u32 node-id space",
+            self.slab_len, self.requested
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// A heap living inside a [`HeapPool`]: the root array `H` plus the length.
 /// All node storage belongs to the pool, which is what makes same-pool meld
 /// zero-copy. Handles are deliberately not `Clone` — duplicating one would
@@ -164,6 +189,45 @@ impl<K> HeapPool<K> {
             pool: self.id,
             roots: Vec::new(),
             len: 0,
+        }
+    }
+
+    /// Check that `requested` more nodes fit in the `u32` id space. Bulk
+    /// admission paths call this before any id is baked so oversized builds
+    /// fail with a typed error instead of wrapping NodeIds mid-build.
+    pub fn can_admit(&self, requested: usize) -> Result<(), CapacityError> {
+        let slab_len = self.arena.slab_len();
+        // `checked_add` first: `slab_len + requested` itself can overflow
+        // `usize` on 32-bit targets.
+        match slab_len.checked_add(requested) {
+            Some(total) if total < u32::MAX as usize => Ok(()),
+            _ => Err(CapacityError {
+                requested,
+                slab_len,
+            }),
+        }
+    }
+
+    /// Rebuild a pool around a deserialized arena (checkpoint recovery).
+    pub(crate) fn from_arena(arena: Arena<K>, engine: Engine) -> Self {
+        HeapPool {
+            id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
+            arena,
+            engine,
+            scratch_h1: Vec::new(),
+            scratch_h2: Vec::new(),
+            scratch_plan: UnionPlan::default(),
+        }
+    }
+
+    /// Re-stamp a recovered root table as a heap of this pool. The caller
+    /// (checkpoint recovery) validates the result with `check_pool` before
+    /// serving from it.
+    pub(crate) fn restore_heap(&self, roots: Vec<Option<NodeId>>, len: usize) -> PooledHeap {
+        PooledHeap {
+            pool: self.id,
+            roots,
+            len,
         }
     }
 
@@ -476,16 +540,30 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
     /// a disjoint slice of one pre-sized slab with ids baked against the
     /// final base offset, and the halves meld zero-copy on the way up using
     /// the chosen planning engine. No absorb, no remap — ever.
+    ///
+    /// Panics if the build would overflow the `u32` id space; callers that
+    /// want a typed error use [`Self::try_from_keys_parallel_with`].
     pub fn from_keys_parallel_with(&mut self, keys: &[K], engine: Engine) -> PooledHeap {
+        self.try_from_keys_parallel_with(keys, engine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::from_keys_parallel_with`] with capacity checked at admission:
+    /// an oversized build returns [`CapacityError`] before any id is baked.
+    pub fn try_from_keys_parallel_with(
+        &mut self,
+        keys: &[K],
+        engine: Engine,
+    ) -> Result<PooledHeap, CapacityError> {
+        self.can_admit(keys.len())?;
         let base = self.arena.slab_len();
-        assert!(
-            base + keys.len() < u32::MAX as usize,
-            "pool slab exceeds the u32 id space"
-        );
+        // `can_admit` proved base + keys.len() < u32::MAX, so every id the
+        // recursive builder bakes (`base ..= base + keys.len() - 1`) fits.
+        let base_u32 = u32::try_from(base).expect("admission check bounds the base offset");
         let mut slab: Vec<Option<Node<K>>> = Vec::new();
         slab.resize_with(keys.len(), || None);
         let cutoff = crate::cutoff::bulk_join_cutoff();
-        let mut roots = build_slab_rec(keys, &mut slab, base as u32, engine, cutoff);
+        let mut roots = build_slab_rec(keys, &mut slab, base_u32, engine, cutoff);
         self.arena.extend_slab(slab);
         trim(&mut roots);
         let h = PooledHeap {
@@ -494,7 +572,7 @@ impl<K: Ord + Copy + Send + Sync> HeapPool<K> {
             len: keys.len(),
         };
         self.debug_validate(&h);
-        h
+        Ok(h)
     }
 
     /// Meld `other_roots` (nodes already in this pool's slab) into `dst`.
@@ -646,6 +724,9 @@ fn build_slab_rec<K: Ord + Copy + Send + Sync>(
     cutoff: usize,
 ) -> Vec<Option<NodeId>> {
     debug_assert_eq!(keys.len(), slab.len());
+    // Admission (`can_admit`) bounds base + keys.len() below u32::MAX, so
+    // the u32 offset arithmetic below cannot wrap.
+    debug_assert!((base as u64) + (keys.len() as u64) < u32::MAX as u64);
     if keys.len() <= cutoff {
         return build_slab_leaf(keys, slab, base);
     }

@@ -1,0 +1,1150 @@
+//! Durability: a write-ahead log + checkpoints for [`HeapPool`] (DESIGN.md
+//! §15).
+//!
+//! The pooled arena is a single contiguous slab — the ideal persistence
+//! unit. This module makes it survive restarts with the classic redo-log
+//! discipline:
+//!
+//! * **WAL** (`wal.log`): every logical mutation is appended *before* it is
+//!   applied in memory. Records are fixed-width `u64` little-endian words —
+//!   `[N][payload × N][crc]` — where the trailer word is FNV-1a folded one
+//!   64-bit word at a time over the length word plus payload (the chaos
+//!   network's trailer-word idea, widened from bytes to words so hashing a
+//!   multi-KiB `from_keys` record costs ⅛ the multiplies and stays off the
+//!   append path's critical ns budget). The payload is `[seq, tag, args…]`.
+//! * **Checkpoints** (`checkpoint.json`): the whole slab + root tables,
+//!   serialized through [`obs::json::J`] behind a leading CRC line, written
+//!   to a temp file and atomically renamed. A checkpoint bounds replay work;
+//!   the WAL keeps its full history so a corrupt checkpoint degrades to a
+//!   full genesis replay, never to data loss.
+//! * **Recovery** ([`HeapPool::recover`] / [`recover_dir`]): load the last
+//!   valid checkpoint (if any), replay every WAL record with a later
+//!   sequence number, and truncate the log at the first torn or
+//!   CRC-failing record. The recovered pool must pass
+//!   [`check_pool`](crate::check::check_pool) before it is served.
+//!
+//! Torn-write rules: a record is accepted iff it is completely present and
+//! its trailer CRC matches; the first rejected record ends the log — all
+//! prior records are preserved, everything from the tear onward is
+//! discarded (and physically truncated, so the next append starts on a
+//! record boundary). Because appends happen *ahead* of the in-memory
+//! mutation, the recovered state can only be **ahead** of what a crashed
+//! process had applied, never behind what it acknowledged.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use obs::flight::{self, EventKind};
+use obs::json::J;
+
+use crate::arena::{Arena, Node, NodeId};
+use crate::check::check_pool;
+use crate::heap::Engine;
+use crate::pool::{CapacityError, HeapPool, PooledHeap};
+
+/// The log file inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The checkpoint file inside a durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// Upper bound on a record's payload word count — anything larger is
+/// treated as a tear (a real record of this size would be a ~0.5 GiB
+/// `from_keys`, far beyond any admission path).
+const MAX_PAYLOAD_WORDS: u64 = 1 << 26;
+
+// FNV-1a, the same constants as the chaos network's frame trailer.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Byte-granular FNV-1a — used for the textual checkpoint body, where the
+/// input is a JSON string and throughput does not matter.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Word-granular FNV-1a for WAL record trailers: one xor+multiply per
+/// `u64` word instead of per byte. Records are all-words already, and a
+/// bulk `FromKeys` record can be multiple KiB — the byte loop's serial
+/// multiply chain (~1 ns/byte) would dominate the append path that the
+/// `wal_append_overhead` bench gate bounds at 1.15×.
+fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One logical pool mutation, as logged. Slots and generations are the
+/// *caller's* handle space (the service's queue table or
+/// [`DurablePool`]'s slot table) so recovered handles stay valid across a
+/// restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A heap was created at `slot` with generation `gen`.
+    CreateHeap {
+        /// Slot index in the owner's table.
+        slot: u32,
+        /// Generation stamped into handles for this incarnation.
+        gen: u32,
+    },
+    /// One key was inserted into the heap at `slot`.
+    Insert {
+        /// Target slot.
+        slot: u32,
+        /// The inserted key.
+        key: i64,
+    },
+    /// A bulk build was melded into the heap at `slot`.
+    FromKeys {
+        /// Target slot.
+        slot: u32,
+        /// The admitted keys, in submission order.
+        keys: Vec<i64>,
+    },
+    /// `Extract-Min` ran against the heap at `slot`.
+    ExtractMin {
+        /// Target slot.
+        slot: u32,
+    },
+    /// `Multi-Extract-Min(k)` ran against the heap at `slot`.
+    MultiExtractMin {
+        /// Target slot.
+        slot: u32,
+        /// Number of keys requested (clamped to the heap length on apply).
+        k: u64,
+    },
+    /// The heap at `src` was melded into the heap at `dst`; `src` died.
+    Meld {
+        /// Surviving slot.
+        dst: u32,
+        /// Consumed slot.
+        src: u32,
+    },
+    /// The heap at `slot` was destroyed.
+    FreeHeap {
+        /// Target slot.
+        slot: u32,
+    },
+}
+
+impl WalOp {
+    fn tag(&self) -> u64 {
+        match self {
+            WalOp::CreateHeap { .. } => 1,
+            WalOp::Insert { .. } => 2,
+            WalOp::FromKeys { .. } => 3,
+            WalOp::ExtractMin { .. } => 4,
+            WalOp::MultiExtractMin { .. } => 5,
+            WalOp::Meld { .. } => 6,
+            WalOp::FreeHeap { .. } => 7,
+        }
+    }
+
+    fn arg_words(&self, out: &mut Vec<u64>) {
+        match self {
+            WalOp::CreateHeap { slot, gen } => out.extend([*slot as u64, *gen as u64]),
+            WalOp::Insert { slot, key } => out.extend([*slot as u64, *key as u64]),
+            WalOp::FromKeys { slot, keys } => {
+                out.push(*slot as u64);
+                out.push(keys.len() as u64);
+                out.extend(keys.iter().map(|k| *k as u64));
+            }
+            WalOp::ExtractMin { slot } => out.push(*slot as u64),
+            WalOp::MultiExtractMin { slot, k } => out.extend([*slot as u64, *k]),
+            WalOp::Meld { dst, src } => out.extend([*dst as u64, *src as u64]),
+            WalOp::FreeHeap { slot } => out.push(*slot as u64),
+        }
+    }
+
+    /// Decode from the payload words that follow `[seq, tag]`.
+    fn from_words(tag: u64, args: &[u64]) -> Option<WalOp> {
+        let slot32 = |w: u64| u32::try_from(w).ok();
+        match tag {
+            1 => Some(WalOp::CreateHeap {
+                slot: slot32(*args.first()?)?,
+                gen: slot32(*args.get(1)?)?,
+            }),
+            2 => Some(WalOp::Insert {
+                slot: slot32(*args.first()?)?,
+                key: *args.get(1)? as i64,
+            }),
+            3 => {
+                let slot = slot32(*args.first()?)?;
+                let n = usize::try_from(*args.get(1)?).ok()?;
+                let words = args.get(2..)?;
+                if words.len() != n {
+                    return None;
+                }
+                Some(WalOp::FromKeys {
+                    slot,
+                    keys: words.iter().map(|w| *w as i64).collect(),
+                })
+            }
+            4 => Some(WalOp::ExtractMin {
+                slot: slot32(*args.first()?)?,
+            }),
+            5 => Some(WalOp::MultiExtractMin {
+                slot: slot32(*args.first()?)?,
+                k: *args.get(1)?,
+            }),
+            6 => Some(WalOp::Meld {
+                dst: slot32(*args.first()?)?,
+                src: slot32(*args.get(1)?)?,
+            }),
+            7 => Some(WalOp::FreeHeap {
+                slot: slot32(*args.first()?)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Encode one record: `[N][seq, tag, args…][crc]`, all `u64` LE.
+fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut words: Vec<u64> = vec![seq, op.tag()];
+    op.arg_words(&mut words);
+    let n = words.len() as u64;
+    let crc = fnv1a_words(std::iter::once(n).chain(words.iter().copied()));
+    let mut bytes = Vec::with_capacity(8 * (words.len() + 2));
+    bytes.extend_from_slice(&n.to_le_bytes());
+    for w in &words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// A durability failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying file system said no.
+    Io(std::io::Error),
+    /// The log or checkpoint is internally inconsistent beyond the
+    /// torn-tail rules (e.g. a replayed op names an occupied slot, or the
+    /// recovered pool fails `check_pool`).
+    Corrupt {
+        /// Sequence number of the offending record (0 when unknown).
+        seq: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An op named a slot with no live heap.
+    UnknownSlot(u32),
+    /// A logged bulk build no longer fits the `u32` id space.
+    Capacity(CapacityError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt { seq, reason } => {
+                write!(f, "wal corrupt at seq {seq}: {reason}")
+            }
+            WalError::UnknownSlot(s) => write!(f, "wal op names unknown slot {s}"),
+            WalError::Capacity(e) => write!(f, "wal replay refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<CapacityError> for WalError {
+    fn from(e: CapacityError) -> Self {
+        WalError::Capacity(e)
+    }
+}
+
+/// Appender for one WAL file. Buffered; [`WalWriter::flush`] pushes the
+/// bytes to the OS (surviving a process kill), [`WalWriter::sync`] forces
+/// them to the device.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: BufWriter<File>,
+    next_seq: u64,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Create (or truncate) a fresh log at `path`; sequence numbers start
+    /// at 1.
+    pub fn create(path: &Path) -> std::io::Result<WalWriter> {
+        let file = File::create(path)?;
+        Ok(WalWriter {
+            file: BufWriter::new(file),
+            next_seq: 1,
+            bytes: 0,
+        })
+    }
+
+    /// Open `path` for appending after recovery decided `next_seq`.
+    pub fn append_to(path: &Path, next_seq: u64) -> std::io::Result<WalWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        Ok(WalWriter {
+            file: BufWriter::new(file),
+            next_seq,
+            bytes,
+        })
+    }
+
+    /// Append one op, returning the sequence number it was logged under.
+    pub fn append(&mut self, op: &WalOp) -> std::io::Result<u64> {
+        let seq = self.next_seq;
+        let rec = encode_record(seq, op);
+        self.file.write_all(&rec)?;
+        self.next_seq += 1;
+        self.bytes += rec.len() as u64;
+        flight::record_here(EventKind::WalAppend, rec.len() as u64);
+        Ok(seq)
+    }
+
+    /// Push buffered records to the OS. Call before applying the op in
+    /// memory — that ordering is the whole write-ahead contract.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+
+    /// Flush and `fsync` to the device (checkpoint boundaries).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total bytes in the log including this writer's appends — the byte
+    /// offset a crash harness can cut at.
+    pub fn bytes_logged(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// The readable prefix of a WAL file.
+#[derive(Debug, Default)]
+pub struct WalRead {
+    /// Every record that survived framing + CRC, in log order.
+    pub records: Vec<(u64, WalOp)>,
+    /// Byte length of the valid prefix (recovery truncates to this).
+    pub valid_len: u64,
+    /// Byte length of the file as found on disk.
+    pub file_len: u64,
+}
+
+/// Read a WAL, stopping at the first torn or CRC-failing record. A missing
+/// file reads as empty — genesis is an absent log.
+pub fn read_wal(path: &Path) -> std::io::Result<WalRead> {
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let mut out = WalRead {
+        file_len: buf.len() as u64,
+        ..WalRead::default()
+    };
+    let word = |at: usize| -> u64 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&buf[at..at + 8]);
+        u64::from_le_bytes(w)
+    };
+    let mut pos = 0usize;
+    while pos + 8 <= buf.len() {
+        let n = word(pos);
+        // Payload must at least hold [seq, tag]; an absurd length is a tear.
+        if !(2..=MAX_PAYLOAD_WORDS).contains(&n) {
+            break;
+        }
+        let n = n as usize;
+        let total = 8 * (n + 2);
+        let Some(end) = pos.checked_add(total) else {
+            break;
+        };
+        if end > buf.len() {
+            break;
+        }
+        let crc = fnv1a_words((0..=n).map(|i| word(pos + 8 * i)));
+        if crc != word(pos + 8 * (n + 1)) {
+            break;
+        }
+        let seq = word(pos + 8);
+        let tag = word(pos + 16);
+        let args: Vec<u64> = (2..n).map(|i| word(pos + 8 * (1 + i))).collect();
+        let Some(op) = WalOp::from_words(tag, &args) else {
+            break;
+        };
+        out.records.push((seq, op));
+        pos = end;
+        out.valid_len = pos as u64;
+    }
+    Ok(out)
+}
+
+/// Physically truncate a log to its valid prefix.
+pub fn truncate_wal(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)
+}
+
+fn j_u64(j: &J) -> Option<u64> {
+    match j {
+        J::UInt(v) => Some(*v),
+        J::Int(v) => u64::try_from(*v).ok(),
+        _ => None,
+    }
+}
+
+fn j_i64(j: &J) -> Option<i64> {
+    match j {
+        J::Int(v) => Some(*v),
+        J::UInt(v) => i64::try_from(*v).ok(),
+        _ => None,
+    }
+}
+
+fn j_u32(j: &J) -> Option<u32> {
+    j_u64(j).and_then(|v| u32::try_from(v).ok())
+}
+
+/// Serialize the slab + root tables to `dir/checkpoint.json` (temp file +
+/// rename, CRC line first) under checkpoint sequence `seq` — replay then
+/// skips every record with `seq' <= seq`.
+pub fn write_checkpoint<'a, I>(
+    dir: &Path,
+    seq: u64,
+    pool: &HeapPool<i64>,
+    heaps: I,
+    free_slots: &[(u32, u32)],
+) -> std::io::Result<()>
+where
+    I: IntoIterator<Item = (u32, u32, &'a PooledHeap)>,
+{
+    let nodes: Vec<J> = pool
+        .arena()
+        .raw_slots()
+        .iter()
+        .map(|slot| match slot {
+            None => J::Num(f64::NAN), // emitted as `null`
+            Some(n) => J::Arr(vec![
+                J::Int(n.key),
+                J::Int(n.parent.map_or(-1, |p| p.0 as i64)),
+                J::Arr(n.children.iter().map(|c| J::UInt(c.0 as u64)).collect()),
+            ]),
+        })
+        .collect();
+    let free: Vec<J> = pool
+        .arena()
+        .free_list()
+        .iter()
+        .map(|f| J::UInt(*f as u64))
+        .collect();
+    let heaps: Vec<J> = heaps
+        .into_iter()
+        .map(|(slot, gen, h)| {
+            J::Arr(vec![
+                J::UInt(slot as u64),
+                J::UInt(gen as u64),
+                J::UInt(h.len() as u64),
+                J::Arr(
+                    h.roots()
+                        .iter()
+                        .map(|r| J::Int(r.map_or(-1, |id| id.0 as i64)))
+                        .collect(),
+                ),
+            ])
+        })
+        .collect();
+    let slots: Vec<J> = free_slots
+        .iter()
+        .map(|(s, g)| J::Arr(vec![J::UInt(*s as u64), J::UInt(*g as u64)]))
+        .collect();
+    let body = J::obj([
+        ("seq", J::UInt(seq)),
+        ("nodes", J::Arr(nodes)),
+        ("free", J::Arr(free)),
+        ("heaps", J::Arr(heaps)),
+        ("free_slots", J::Arr(slots)),
+    ])
+    .to_string();
+    let crc = fnv1a(body.as_bytes());
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(format!("{crc}\n").as_bytes())?;
+        f.write_all(body.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    flight::record_here(EventKind::Checkpoint, seq);
+    Ok(())
+}
+
+/// A checkpoint decoded back into live structures.
+struct RecoveredCheckpoint {
+    seq: u64,
+    pool: HeapPool<i64>,
+    heaps: Vec<Option<(u32, PooledHeap)>>,
+    free_slots: Vec<(u32, u32)>,
+}
+
+/// Load `dir/checkpoint.json`. Any failure — missing file, CRC mismatch,
+/// malformed JSON, inconsistent free list — yields `None`: the checkpoint
+/// is advisory, recovery then replays the WAL from genesis.
+fn read_checkpoint(dir: &Path, engine: Engine) -> Option<RecoveredCheckpoint> {
+    let text = std::fs::read_to_string(dir.join(CHECKPOINT_FILE)).ok()?;
+    let (crc_line, body) = text.split_once('\n')?;
+    let want: u64 = crc_line.trim().parse().ok()?;
+    if fnv1a(body.as_bytes()) != want {
+        return None;
+    }
+    let doc = J::parse(body).ok()?;
+    let seq = doc.get("seq").and_then(j_u64)?;
+    let mut nodes: Vec<Option<Node<i64>>> = Vec::new();
+    for slot in doc.get("nodes")?.as_arr()? {
+        match slot {
+            J::Num(_) => nodes.push(None),
+            J::Arr(parts) => {
+                let key = j_i64(parts.first()?)?;
+                let parent = match j_i64(parts.get(1)?)? {
+                    -1 => None,
+                    p => Some(NodeId(u32::try_from(p).ok()?)),
+                };
+                let children = parts
+                    .get(2)?
+                    .as_arr()?
+                    .iter()
+                    .map(|c| j_u32(c).map(NodeId))
+                    .collect::<Option<Vec<_>>>()?;
+                nodes.push(Some(Node {
+                    key,
+                    parent,
+                    children,
+                }));
+            }
+            _ => return None,
+        }
+    }
+    let free = doc
+        .get("free")?
+        .as_arr()?
+        .iter()
+        .map(j_u32)
+        .collect::<Option<Vec<_>>>()?;
+    let arena = Arena::from_raw_parts(nodes, free)?;
+    let pool = HeapPool::from_arena(arena, engine);
+    let mut heaps: Vec<Option<(u32, PooledHeap)>> = Vec::new();
+    for h in doc.get("heaps")?.as_arr()? {
+        let parts = h.as_arr()?;
+        let slot = j_u32(parts.first()?)? as usize;
+        let gen = j_u32(parts.get(1)?)?;
+        let len = j_u64(parts.get(2)?)? as usize;
+        let roots = parts
+            .get(3)?
+            .as_arr()?
+            .iter()
+            .map(|r| match j_i64(r) {
+                Some(-1) => Some(None),
+                Some(p) => u32::try_from(p).ok().map(|v| Some(NodeId(v))),
+                None => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        if heaps.len() <= slot {
+            heaps.resize_with(slot + 1, || None);
+        }
+        if heaps[slot].is_some() {
+            return None;
+        }
+        heaps[slot] = Some((gen, pool.restore_heap(roots, len)));
+    }
+    let free_slots = doc
+        .get("free_slots")?
+        .as_arr()?
+        .iter()
+        .map(|p| {
+            let parts = p.as_arr()?;
+            Some((j_u32(parts.first()?)?, j_u32(parts.get(1)?)?))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(RecoveredCheckpoint {
+        seq,
+        pool,
+        heaps,
+        free_slots,
+    })
+}
+
+/// Apply one logged op to a pool + slot table. Shared by replay and the
+/// live [`DurablePool`] path so the two can never diverge. Returns the
+/// extracted keys (empty for non-extracting ops).
+fn apply_op(
+    pool: &mut HeapPool<i64>,
+    slots: &mut Vec<Option<(u32, PooledHeap)>>,
+    free_slots: &mut Vec<(u32, u32)>,
+    seq: u64,
+    op: &WalOp,
+) -> Result<Vec<i64>, WalError> {
+    let live = |slots: &mut Vec<Option<(u32, PooledHeap)>>, s: u32| -> Result<usize, WalError> {
+        let i = s as usize;
+        match slots.get(i) {
+            Some(Some(_)) => Ok(i),
+            _ => Err(WalError::UnknownSlot(s)),
+        }
+    };
+    match op {
+        WalOp::CreateHeap { slot, gen } => {
+            let i = *slot as usize;
+            if slots.len() <= i {
+                slots.resize_with(i + 1, || None);
+            }
+            if slots[i].is_some() {
+                return Err(WalError::Corrupt {
+                    seq,
+                    reason: format!("create_heap on occupied slot {slot}"),
+                });
+            }
+            // Retire the free-list entry this create consumed (search from
+            // the back: allocation is LIFO).
+            if let Some(at) = free_slots.iter().rposition(|(s, _)| s == slot) {
+                free_slots.remove(at);
+            }
+            slots[i] = Some((*gen, pool.new_heap()));
+            Ok(Vec::new())
+        }
+        WalOp::Insert { slot, key } => {
+            let i = live(slots, *slot)?;
+            let (_, heap) = slots[i].as_mut().expect("live slot");
+            pool.insert(heap, *key);
+            Ok(Vec::new())
+        }
+        WalOp::FromKeys { slot, keys } => {
+            let i = live(slots, *slot)?;
+            let engine = pool.engine();
+            let built = pool.try_from_keys_parallel_with(keys, engine)?;
+            let (_, heap) = slots[i].as_mut().expect("live slot");
+            pool.meld(heap, built);
+            Ok(Vec::new())
+        }
+        WalOp::ExtractMin { slot } => {
+            let i = live(slots, *slot)?;
+            let (_, heap) = slots[i].as_mut().expect("live slot");
+            Ok(pool.extract_min(heap).into_iter().collect())
+        }
+        WalOp::MultiExtractMin { slot, k } => {
+            let i = live(slots, *slot)?;
+            let (_, heap) = slots[i].as_mut().expect("live slot");
+            let k = usize::try_from(*k).unwrap_or(usize::MAX).min(heap.len());
+            Ok(pool.multi_extract_min(heap, k))
+        }
+        WalOp::Meld { dst, src } => {
+            if dst == src {
+                return Err(WalError::Corrupt {
+                    seq,
+                    reason: format!("meld of slot {dst} into itself"),
+                });
+            }
+            let di = live(slots, *dst)?;
+            let si = live(slots, *src)?;
+            let (sgen, sheap) = slots[si].take().expect("live slot");
+            let (_, dheap) = slots[di].as_mut().expect("live slot");
+            pool.meld(dheap, sheap);
+            free_slots.push((*src, sgen.wrapping_add(1)));
+            Ok(Vec::new())
+        }
+        WalOp::FreeHeap { slot } => {
+            let i = live(slots, *slot)?;
+            let (gen, heap) = slots[i].take().expect("live slot");
+            pool.free_heap(heap);
+            free_slots.push((*slot, gen.wrapping_add(1)));
+            Ok(Vec::new())
+        }
+    }
+}
+
+/// Everything recovery reconstructs from a durability directory. The
+/// service's shard recovery and [`DurablePool::open`] both build on this.
+pub struct RecoveredState {
+    /// The pool, checkpoint-restored and replayed up to the valid WAL tail.
+    pub pool: HeapPool<i64>,
+    /// Slot table: `heaps[slot] = Some((generation, heap))` for live slots.
+    pub heaps: Vec<Option<(u32, PooledHeap)>>,
+    /// Recyclable `(slot, next_generation)` pairs.
+    pub free_slots: Vec<(u32, u32)>,
+    /// Sequence number the next append must use.
+    pub next_seq: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: usize,
+}
+
+/// Recover a durability directory: last valid checkpoint + WAL suffix
+/// replay + physical truncation of any torn tail. The result has passed
+/// `check_pool`; a missing directory recovers to the empty state.
+pub fn recover_dir(dir: &Path, engine: Engine) -> Result<RecoveredState, WalError> {
+    std::fs::create_dir_all(dir)?;
+    let (ckpt_seq, mut pool, mut heaps, mut free_slots) = match read_checkpoint(dir, engine) {
+        Some(c) => (c.seq, c.pool, c.heaps, c.free_slots),
+        None => (
+            0,
+            HeapPool::new().with_engine(engine),
+            Vec::new(),
+            Vec::new(),
+        ),
+    };
+    let wal_path = dir.join(WAL_FILE);
+    let log = read_wal(&wal_path)?;
+    if log.valid_len < log.file_len {
+        truncate_wal(&wal_path, log.valid_len)?;
+    }
+    let mut last_seq = ckpt_seq;
+    let mut replayed = 0usize;
+    for (seq, op) in &log.records {
+        if *seq <= ckpt_seq {
+            continue; // already folded into the checkpoint
+        }
+        if *seq <= last_seq {
+            return Err(WalError::Corrupt {
+                seq: *seq,
+                reason: format!("sequence went backwards (after {last_seq})"),
+            });
+        }
+        apply_op(&mut pool, &mut heaps, &mut free_slots, *seq, op)?;
+        last_seq = *seq;
+        replayed += 1;
+    }
+    let refs: Vec<&PooledHeap> = heaps.iter().flatten().map(|(_, h)| h).collect();
+    check_pool(&pool, &refs).map_err(|reason| WalError::Corrupt {
+        seq: last_seq,
+        reason,
+    })?;
+    flight::record_here(EventKind::Recover, replayed as u64);
+    Ok(RecoveredState {
+        pool,
+        heaps,
+        free_slots,
+        next_seq: last_seq + 1,
+        replayed,
+    })
+}
+
+impl HeapPool<i64> {
+    /// Recover (or initialize) a durable pool from `path`: load the last
+    /// valid checkpoint, replay the WAL suffix, truncate any torn tail,
+    /// and return the pool wrapped in its logging front-end.
+    pub fn recover(path: &Path) -> Result<DurablePool, WalError> {
+        DurablePool::open(path, Engine::Sequential)
+    }
+}
+
+/// A [`HeapPool`] whose every mutation is logged ahead of application, with
+/// periodic checkpoints. Heaps are addressed by `(slot, generation)` pairs
+/// (the same generational-handle scheme the service's queue table uses) so
+/// handles survive a restart.
+#[derive(Debug)]
+pub struct DurablePool {
+    dir: PathBuf,
+    pool: HeapPool<i64>,
+    slots: Vec<Option<(u32, PooledHeap)>>,
+    free_slots: Vec<(u32, u32)>,
+    writer: WalWriter,
+    checkpoint_every: u64,
+    ops_since_checkpoint: u64,
+}
+
+/// Default number of logged ops between automatic checkpoints.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 256;
+
+impl DurablePool {
+    /// Open `dir`, recovering whatever state it holds (an empty or missing
+    /// directory opens as an empty pool).
+    pub fn open(dir: &Path, engine: Engine) -> Result<DurablePool, WalError> {
+        let state = recover_dir(dir, engine)?;
+        let writer = WalWriter::append_to(&dir.join(WAL_FILE), state.next_seq)?;
+        Ok(DurablePool {
+            dir: dir.to_path_buf(),
+            pool: state.pool,
+            slots: state.heaps,
+            free_slots: state.free_slots,
+            writer,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            ops_since_checkpoint: 0,
+        })
+    }
+
+    /// Log-then-apply: the write-ahead contract lives here. The op reaches
+    /// the OS before the slab changes, so recovery can only be ahead of
+    /// (never behind) acknowledged state.
+    fn log_apply(&mut self, op: &WalOp) -> Result<Vec<i64>, WalError> {
+        if let WalOp::FromKeys { keys, .. } = op {
+            // Refuse at admission: the log must never hold an op that
+            // cannot replay.
+            self.pool.can_admit(keys.len())?;
+        }
+        let seq = self.writer.append(op)?;
+        self.writer.flush()?;
+        let out = apply_op(
+            &mut self.pool,
+            &mut self.slots,
+            &mut self.free_slots,
+            seq,
+            op,
+        )?;
+        self.ops_since_checkpoint += 1;
+        if self.ops_since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(out)
+    }
+
+    fn require_live(&self, slot: u32) -> Result<(), WalError> {
+        match self.slots.get(slot as usize) {
+            Some(Some(_)) => Ok(()),
+            _ => Err(WalError::UnknownSlot(slot)),
+        }
+    }
+
+    /// Create a heap; returns its `(slot, generation)` handle.
+    pub fn create_heap(&mut self) -> Result<(u32, u32), WalError> {
+        let (slot, gen) = match self.free_slots.last() {
+            Some(&(s, g)) => (s, g),
+            None => (self.slots.len() as u32, 0),
+        };
+        self.log_apply(&WalOp::CreateHeap { slot, gen })?;
+        Ok((slot, gen))
+    }
+
+    /// Insert one key.
+    pub fn insert(&mut self, slot: u32, key: i64) -> Result<(), WalError> {
+        self.require_live(slot)?;
+        self.log_apply(&WalOp::Insert { slot, key })?;
+        Ok(())
+    }
+
+    /// Bulk-admit keys (logged as one record, built with the pool engine).
+    pub fn from_keys(&mut self, slot: u32, keys: &[i64]) -> Result<(), WalError> {
+        self.require_live(slot)?;
+        self.log_apply(&WalOp::FromKeys {
+            slot,
+            keys: keys.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Extract the minimum key.
+    pub fn extract_min(&mut self, slot: u32) -> Result<Option<i64>, WalError> {
+        self.require_live(slot)?;
+        let out = self.log_apply(&WalOp::ExtractMin { slot })?;
+        Ok(out.into_iter().next())
+    }
+
+    /// Extract the `k` smallest keys.
+    pub fn multi_extract_min(&mut self, slot: u32, k: usize) -> Result<Vec<i64>, WalError> {
+        self.require_live(slot)?;
+        self.log_apply(&WalOp::MultiExtractMin { slot, k: k as u64 })
+    }
+
+    /// Meld the heap at `src` into the heap at `dst`; `src` dies.
+    pub fn meld(&mut self, dst: u32, src: u32) -> Result<(), WalError> {
+        self.require_live(dst)?;
+        self.require_live(src)?;
+        if dst == src {
+            return Err(WalError::Corrupt {
+                seq: self.writer.next_seq(),
+                reason: "meld of a slot into itself".into(),
+            });
+        }
+        self.log_apply(&WalOp::Meld { dst, src })?;
+        Ok(())
+    }
+
+    /// Destroy the heap at `slot`, recycling its nodes and slot.
+    pub fn free_heap(&mut self, slot: u32) -> Result<(), WalError> {
+        self.require_live(slot)?;
+        self.log_apply(&WalOp::FreeHeap { slot })?;
+        Ok(())
+    }
+
+    /// Write a checkpoint now and reset the cadence counter. The WAL keeps
+    /// its history (compaction is future work); replay skips everything the
+    /// checkpoint already folded in.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        self.writer.sync()?;
+        let seq = self.writer.next_seq() - 1;
+        let heaps = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|(g, h)| (i as u32, *g, h)));
+        write_checkpoint(&self.dir, seq, &self.pool, heaps, &self.free_slots)?;
+        self.ops_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Change the automatic checkpoint cadence (`u64::MAX` disables it).
+    pub fn set_checkpoint_every(&mut self, every: u64) {
+        self.checkpoint_every = every.max(1);
+    }
+
+    /// The underlying pool (read-only).
+    pub fn pool(&self) -> &HeapPool<i64> {
+        &self.pool
+    }
+
+    /// Number of keys in the heap at `slot`, if live.
+    pub fn len(&self, slot: u32) -> Option<usize> {
+        match self.slots.get(slot as usize) {
+            Some(Some((_, h))) => Some(h.len()),
+            _ => None,
+        }
+    }
+
+    /// Whether the heap at `slot` is live but empty (`None` if not live).
+    pub fn is_empty(&self, slot: u32) -> Option<bool> {
+        self.len(slot).map(|l| l == 0)
+    }
+
+    /// Generation of the heap at `slot`, if live.
+    pub fn generation(&self, slot: u32) -> Option<u32> {
+        match self.slots.get(slot as usize) {
+            Some(Some((g, _))) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Live slot indices, ascending.
+    pub fn live_slots(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
+            .collect()
+    }
+
+    /// Every key in the heap at `slot`, in arbitrary order (oracle checks).
+    pub fn keys_unsorted(&self, slot: u32) -> Option<Vec<i64>> {
+        match self.slots.get(slot as usize) {
+            Some(Some((_, h))) => {
+                let mut ids = Vec::with_capacity(h.len());
+                self.pool.collect_node_ids(h, &mut ids);
+                Some(
+                    ids.into_iter()
+                        .map(|id| self.pool.arena().get(id).key)
+                        .collect(),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Bytes in the WAL — the offsets a crash harness cuts at.
+    pub fn wal_bytes(&self) -> u64 {
+        self.writer.bytes_logged()
+    }
+
+    /// Deep validation of every live heap via `check_pool`.
+    pub fn validate(&self) -> Result<(), String> {
+        let refs: Vec<&PooledHeap> = self.slots.iter().flatten().map(|(_, h)| h).collect();
+        check_pool(&self.pool, &refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "meldpq-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn all_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::CreateHeap { slot: 3, gen: 7 },
+            WalOp::Insert { slot: 3, key: -42 },
+            WalOp::FromKeys {
+                slot: 3,
+                keys: vec![i64::MIN, -1, 0, 1, i64::MAX],
+            },
+            WalOp::ExtractMin { slot: 3 },
+            WalOp::MultiExtractMin { slot: 3, k: 999 },
+            WalOp::Meld { dst: 1, src: 2 },
+            WalOp::FreeHeap { slot: 3 },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrip_all_ops() {
+        let dir = tmp_dir("roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(WAL_FILE);
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in all_ops() {
+            w.append(&op).unwrap();
+        }
+        w.flush().unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.valid_len, read.file_len);
+        let got: Vec<WalOp> = read.records.iter().map(|(_, op)| op.clone()).collect();
+        assert_eq!(got, all_ops());
+        let seqs: Vec<u64> = read.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5, 6, 7]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_stops_the_read() {
+        let dir = tmp_dir("torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(WAL_FILE);
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in all_ops() {
+            w.append(&op).unwrap();
+        }
+        w.flush().unwrap();
+        let full = read_wal(&path).unwrap();
+        // Cut 5 bytes into the last record: everything before survives.
+        let cut = full.valid_len - 5;
+        truncate_wal(&path, cut).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), all_ops().len() - 1);
+        assert!(read.valid_len < cut);
+        // A bit flip mid-file stops the read at the flipped record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), 0);
+        assert_eq!(read.valid_len, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_pool_recovers_exactly() {
+        let dir = tmp_dir("recover");
+        let (slot, gen) = {
+            let mut dp = HeapPool::recover(&dir).unwrap();
+            let (slot, gen) = dp.create_heap().unwrap();
+            dp.from_keys(slot, &[5, 3, 9, 1, 7]).unwrap();
+            dp.insert(slot, -2).unwrap();
+            assert_eq!(dp.extract_min(slot).unwrap(), Some(-2));
+            let (other, _) = dp.create_heap().unwrap();
+            dp.from_keys(other, &[100, 50]).unwrap();
+            dp.meld(slot, other).unwrap();
+            (slot, gen)
+        };
+        let dp = HeapPool::recover(&dir).unwrap();
+        assert_eq!(dp.generation(slot), Some(gen));
+        let mut keys = dp.keys_unsorted(slot).unwrap();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9, 50, 100]);
+        dp.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_corruption_fallback() {
+        let dir = tmp_dir("ckpt");
+        {
+            let mut dp = HeapPool::recover(&dir).unwrap();
+            let (slot, _) = dp.create_heap().unwrap();
+            dp.from_keys(slot, &(0..100).collect::<Vec<_>>()).unwrap();
+            dp.extract_min(slot).unwrap();
+            dp.checkpoint().unwrap();
+            dp.insert(slot, -5).unwrap(); // lives only in the WAL suffix
+        }
+        {
+            let dp = HeapPool::recover(&dir).unwrap();
+            let mut keys = dp.keys_unsorted(0).unwrap();
+            keys.sort_unstable();
+            let mut want: Vec<i64> = (1..100).collect();
+            want.insert(0, -5);
+            assert_eq!(keys, want);
+        }
+        // Corrupt the checkpoint: recovery falls back to genesis replay and
+        // still reaches the same state (the WAL holds full history).
+        let ck = dir.join(CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&ck).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&ck, &bytes).unwrap();
+        let dp = HeapPool::recover(&dir).unwrap();
+        let mut keys = dp.keys_unsorted(0).unwrap();
+        keys.sort_unstable();
+        let mut want: Vec<i64> = (1..100).collect();
+        want.insert(0, -5);
+        assert_eq!(keys, want);
+        dp.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slot_recycling_survives_recovery() {
+        let dir = tmp_dir("slots");
+        {
+            let mut dp = HeapPool::recover(&dir).unwrap();
+            let (s0, g0) = dp.create_heap().unwrap();
+            dp.insert(s0, 1).unwrap();
+            dp.free_heap(s0).unwrap();
+            let (s1, g1) = dp.create_heap().unwrap();
+            assert_eq!(s1, s0, "slot is recycled");
+            assert_eq!(g1, g0 + 1, "generation advances");
+            dp.insert(s1, 2).unwrap();
+        }
+        let dp = HeapPool::recover(&dir).unwrap();
+        assert_eq!(dp.generation(0), Some(1));
+        assert_eq!(dp.keys_unsorted(0).unwrap(), vec![2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_slot_is_typed() {
+        let dir = tmp_dir("unknown");
+        let mut dp = HeapPool::recover(&dir).unwrap();
+        assert!(matches!(dp.insert(9, 1), Err(WalError::UnknownSlot(9))));
+        assert!(matches!(dp.extract_min(0), Err(WalError::UnknownSlot(0))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_recover_is_idempotent() {
+        let dir = tmp_dir("double");
+        {
+            let mut dp = HeapPool::recover(&dir).unwrap();
+            let (slot, _) = dp.create_heap().unwrap();
+            dp.from_keys(slot, &[8, 6, 7]).unwrap();
+        }
+        let a = HeapPool::recover(&dir).unwrap();
+        let mut ka = a.keys_unsorted(0).unwrap();
+        ka.sort_unstable();
+        drop(a);
+        let b = HeapPool::recover(&dir).unwrap();
+        let mut kb = b.keys_unsorted(0).unwrap();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
+        b.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -108,6 +108,12 @@ pub enum EventKind {
     NetTimeout = 11,
     /// A dead processor's residents were rehomed (arg = node count).
     NetRehome = 12,
+    /// A logical op was appended to a write-ahead log (arg = record bytes).
+    WalAppend = 13,
+    /// A durability checkpoint was written (arg = checkpoint sequence).
+    Checkpoint = 14,
+    /// A pool or shard recovered from its log (arg = ops replayed).
+    Recover = 15,
 }
 
 impl EventKind {
@@ -126,6 +132,9 @@ impl EventKind {
             EventKind::NetRedelivery => "net_redelivery",
             EventKind::NetTimeout => "net_timeout",
             EventKind::NetRehome => "net_rehome",
+            EventKind::WalAppend => "wal_append",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Recover => "recover",
         }
     }
 
@@ -143,6 +152,9 @@ impl EventKind {
             10 => EventKind::NetRedelivery,
             11 => EventKind::NetTimeout,
             12 => EventKind::NetRehome,
+            13 => EventKind::WalAppend,
+            14 => EventKind::Checkpoint,
+            15 => EventKind::Recover,
             _ => return None,
         })
     }

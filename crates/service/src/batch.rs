@@ -8,7 +8,7 @@
 //! it against the shard's [`meldpq::HeapPool`] with the bulk kernels, and
 //! publishes each result through its [`OpSlot`].
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use obs::flight;
@@ -152,27 +152,52 @@ impl OpSlot {
         now.saturating_sub(self.deposited_nanos)
     }
 
+    // The slot mutex only ever guards `Option<Response>` writes, which
+    // cannot be left half-done — poison here means some *other* invariant
+    // broke while a panicking thread happened to hold this lock, so every
+    // accessor recovers the guard instead of cascading the panic to
+    // innocent waiters.
+    fn lock_result(&self) -> std::sync::MutexGuard<'_, Option<Response>> {
+        self.result.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Publish the result and wake the waiter. Filling twice is a combiner
     /// bug and panics.
     pub fn fill(&self, r: Response) {
-        let mut g = self.result.lock().expect("slot poisoned");
+        let mut g = self.lock_result();
         assert!(g.is_none(), "OpSlot filled twice");
         *g = Some(r);
         self.ready.notify_all();
     }
 
+    /// Publish only if nothing was published yet — the panic-containment
+    /// path, where the combiner cannot know how far a poisoned batch got.
+    /// Returns whether this call filled the slot.
+    pub fn fill_if_empty(&self, r: Response) -> bool {
+        let mut g = self.lock_result();
+        if g.is_some() {
+            return false;
+        }
+        *g = Some(r);
+        self.ready.notify_all();
+        true
+    }
+
     /// Take the result if the combiner has published it.
     pub fn try_take(&self) -> Option<Response> {
-        self.result.lock().expect("slot poisoned").take()
+        self.lock_result().take()
     }
 
     /// Block briefly for a result; returns it if published within `dur`.
     pub fn wait_for(&self, dur: Duration) -> Option<Response> {
-        let mut g = self.result.lock().expect("slot poisoned");
+        let mut g = self.lock_result();
         if let Some(r) = g.take() {
             return Some(r);
         }
-        let (mut g, _timeout) = self.ready.wait_timeout(g, dur).expect("slot poisoned");
+        let (mut g, _timeout) = self
+            .ready
+            .wait_timeout(g, dur)
+            .unwrap_or_else(PoisonError::into_inner);
         g.take()
     }
 }
@@ -194,23 +219,29 @@ impl Ingress {
     }
 
     /// Deposit a request; returns the slot the result will arrive in.
+    /// A poisoned buffer lock is recovered: a `Vec` push cannot be left
+    /// torn, and refusing deposits forever would amplify one panic into a
+    /// dead shard.
     pub fn push(&self, req: Request) -> Arc<OpSlot> {
         let slot = OpSlot::new();
         self.pending
             .lock()
-            .expect("ingress poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push((req, Arc::clone(&slot)));
         slot
     }
 
     /// Take the whole pending batch (the combiner's drain).
     pub fn drain(&self) -> Vec<(Request, Arc<OpSlot>)> {
-        std::mem::take(&mut *self.pending.lock().expect("ingress poisoned"))
+        std::mem::take(&mut *self.pending.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Number of requests currently waiting.
     pub fn depth(&self) -> usize {
-        self.pending.lock().expect("ingress poisoned").len()
+        self.pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 

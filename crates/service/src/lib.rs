@@ -43,12 +43,29 @@ pub enum ServiceError {
     /// The handle does not name a live queue — it was destroyed, melded
     /// away, or never existed on this service.
     UnknownQueue(QueueId),
+    /// The operation's combiner panicked mid-batch. The shard recovered
+    /// (it keeps serving), but this op's effect on the queue is unknown —
+    /// the client must treat it as failed.
+    Internal(QueueId),
+    /// A bulk admission was refused because it would overflow the shard
+    /// pool's `u32` node-id space ([`meldpq::CapacityError`]). The queue
+    /// is untouched; no key of the rejected batch was admitted.
+    Capacity {
+        /// The queue the batch targeted.
+        queue: QueueId,
+        /// The typed capacity refusal from the pool.
+        err: meldpq::CapacityError,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::UnknownQueue(q) => write!(f, "unknown or stale queue handle {q}"),
+            ServiceError::Internal(q) => {
+                write!(f, "internal failure while serving {q}: combiner panicked")
+            }
+            ServiceError::Capacity { queue, err } => write!(f, "queue {queue}: {err}"),
         }
     }
 }

@@ -48,6 +48,22 @@ pub struct ShardStats {
     /// Total wall-clock nanoseconds spent inside working combiner
     /// sessions. `combine_ns / combines` is the mean combiner occupancy.
     pub combine_ns: u64,
+    /// Times a poisoned state lock was recovered (a combiner panicked while
+    /// holding it and the next locker cleared the poison).
+    pub poison_recoveries: u64,
+    /// Poison recoveries where `check_pool` found the state damaged and the
+    /// shard was reset to empty (every queue lost).
+    pub poison_resets: u64,
+    /// Per-queue batch executions that panicked and were contained by the
+    /// combiner's catch-unwind barrier.
+    pub combiner_panics: u64,
+    /// Logical ops appended to this shard's write-ahead log.
+    pub wal_appends: u64,
+    /// Durability checkpoints written by this shard.
+    pub wal_checkpoints: u64,
+    /// WAL/checkpoint I/O failures. Any failure disables durability on the
+    /// shard (it keeps serving from memory) rather than failing requests.
+    pub wal_errors: u64,
 }
 
 impl Recorder for ShardStats {
@@ -72,6 +88,12 @@ impl Recorder for ShardStats {
             ("queues_destroyed", self.queues_destroyed),
             ("combines", self.combines),
             ("combine_ns", self.combine_ns),
+            ("poison_recoveries", self.poison_recoveries),
+            ("poison_resets", self.poison_resets),
+            ("combiner_panics", self.combiner_panics),
+            ("wal_appends", self.wal_appends),
+            ("wal_checkpoints", self.wal_checkpoints),
+            ("wal_errors", self.wal_errors),
         ]
     }
 }

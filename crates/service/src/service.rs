@@ -1,10 +1,13 @@
 //! The tenant-facing front end: [`QueueService`] and its handle type.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use meldpq::{ArenaStats, Backend, Engine};
+use meldpq::pool::PooledHeap;
+use meldpq::wal::{WalError, WalOp};
+use meldpq::{ArenaStats, Backend, Engine, HeapPool};
 use obs::flight::{self, EventKind};
 use obs::Registry;
 
@@ -69,6 +72,7 @@ pub struct ServiceBuilder {
     engine: Engine,
     bulk_threshold: usize,
     backend: Backend,
+    durable: Option<PathBuf>,
 }
 
 impl Default for ServiceBuilder {
@@ -85,6 +89,7 @@ impl Default for ServiceBuilder {
             // (the committed shootout selection table), env-pinnable with
             // MELDPQ_BACKEND.
             backend: meldpq::backend::default_backend(),
+            durable: None,
         }
     }
 }
@@ -126,15 +131,48 @@ impl ServiceBuilder {
         self
     }
 
-    /// Build the service.
+    /// Make the service durable, rooted at `root`: each shard keeps a
+    /// write-ahead log (and, on the pooled backend, periodic checkpoints)
+    /// under `root/shard<i>/`. [`ServiceBuilder::try_build`] recovers
+    /// whatever state those directories already hold, so building twice
+    /// from the same root is crash recovery.
+    pub fn durable(mut self, root: impl Into<PathBuf>) -> Self {
+        self.durable = Some(root.into());
+        self
+    }
+
+    /// Build the service, panicking if durable recovery fails. Prefer
+    /// [`ServiceBuilder::try_build`] for durable services.
     pub fn build(self) -> QueueService {
-        QueueService {
-            shards: (0..self.shards)
-                .map(|i| Shard::new(i as u16, self.engine, self.bulk_threshold, self.backend))
-                .collect(),
+        self.try_build()
+            .unwrap_or_else(|e| panic!("durable service recovery failed: {e}"))
+    }
+
+    /// Build the service, recovering each shard from its durability
+    /// directory when [`ServiceBuilder::durable`] was set.
+    pub fn try_build(self) -> Result<QueueService, WalError> {
+        let shards = (0..self.shards)
+            .map(|i| match &self.durable {
+                None => Ok(Shard::new(
+                    i as u16,
+                    self.engine,
+                    self.bulk_threshold,
+                    self.backend,
+                )),
+                Some(root) => Shard::new_durable(
+                    i as u16,
+                    self.engine,
+                    self.bulk_threshold,
+                    self.backend,
+                    root.join(format!("shard{i}")),
+                ),
+            })
+            .collect::<Result<Vec<_>, WalError>>()?;
+        Ok(QueueService {
+            shards,
             rr: AtomicUsize::new(0),
             backend: self.backend,
-        }
+        })
     }
 }
 
@@ -243,6 +281,12 @@ impl QueueService {
     pub fn destroy_queue(&self, id: QueueId) -> Result<usize, ServiceError> {
         let shard = self.shard(id)?;
         let mut st = shard.lock_state();
+        // Look before logging: a stale handle must not reach the WAL.
+        if st.queue_mut(id).is_none() {
+            st.stats.stale_ops += 1;
+            return Err(ServiceError::UnknownQueue(id));
+        }
+        Shard::log_ops(&mut st, &[WalOp::FreeHeap { slot: id.slot() }]);
         match st.take_queue(id)? {
             TenantHeap::Pooled(heap) => Ok(st.pool.free_heap(heap)),
             TenantHeap::Boxed(q) => Ok(q.len()),
@@ -413,6 +457,17 @@ impl QueueService {
                 st.stats.stale_ops += 1;
                 return Err(ServiceError::UnknownQueue(dst));
             }
+            if st.queue_mut(src).is_some() {
+                // Both live: one logical Meld record, logged (and flushed)
+                // before either queue is touched.
+                Shard::log_ops(
+                    &mut st,
+                    &[WalOp::Meld {
+                        dst: dst.slot(),
+                        src: src.slot(),
+                    }],
+                );
+            }
             let src_heap = st.take_queue(src)?;
             // Split borrows: pool, queue table and stats are disjoint fields.
             let ShardState {
@@ -451,25 +506,70 @@ impl QueueService {
             dst_state.stats.stale_ops += 1;
             return Err(ServiceError::UnknownQueue(dst));
         }
+        if src_state.queue_mut(src).is_none() {
+            src_state.stats.stale_ops += 1;
+            return Err(ServiceError::UnknownQueue(src));
+        }
+        // Durability of a cross-shard meld is two records in two logs:
+        // `FreeHeap` in the source shard's WAL, then the moved keys as
+        // `FromKeys` in the destination's — each flushed before its shard
+        // mutates. A crash between the two flushes loses the moved keys
+        // (at-most-once, never duplicated); see DESIGN.md §15.
+        Shard::log_ops(src_state, &[WalOp::FreeHeap { slot: src.slot() }]);
         let src_heap = src_state.take_queue(src)?;
-        let ShardState {
-            pool,
-            queues,
-            stats,
-            ..
-        } = dst_state;
-        let q = queues[dst.slot() as usize].as_mut().expect("checked above");
-        match (&mut q.heap, src_heap) {
-            (TenantHeap::Pooled(d), TenantHeap::Pooled(s)) => {
+        let dst_durable = dst_state.is_durable();
+        let dst_is_pooled = matches!(
+            dst_state.queue_mut(dst).expect("checked above").heap,
+            TenantHeap::Pooled(_)
+        );
+        match src_heap {
+            // Same engine on both sides: zero-copy node moves.
+            TenantHeap::Pooled(s) if dst_is_pooled => {
+                if dst_durable {
+                    let keys = pooled_keys_unsorted(&src_state.pool, &s);
+                    Shard::log_ops(
+                        dst_state,
+                        &[WalOp::FromKeys {
+                            slot: dst.slot(),
+                            keys,
+                        }],
+                    );
+                }
+                let ShardState { pool, queues, .. } = dst_state;
+                let q = queues[dst.slot() as usize].as_mut().expect("checked above");
+                let TenantHeap::Pooled(d) = &mut q.heap else {
+                    unreachable!("variant checked above")
+                };
                 pool.meld_cross_pool(d, &mut src_state.pool, s);
             }
-            (dst_heap, mut src_heap) => {
+            // Backend-agnostic fallback: drain ascending, reinsert bulk.
+            mut src_heap => {
                 let keys = src_heap.drain_all(&mut src_state.pool);
-                dst_heap.bulk_insert(pool, &keys);
+                if dst_durable && !keys.is_empty() {
+                    Shard::log_ops(
+                        dst_state,
+                        &[WalOp::FromKeys {
+                            slot: dst.slot(),
+                            keys: keys.clone(),
+                        }],
+                    );
+                }
+                let ShardState { pool, queues, .. } = dst_state;
+                let q = queues[dst.slot() as usize].as_mut().expect("checked above");
+                q.heap.bulk_insert(pool, &keys);
             }
         }
-        stats.melds_cross_shard += 1;
+        dst_state.stats.melds_cross_shard += 1;
         Ok(())
+    }
+
+    /// Force a durability checkpoint on every shard (no-op on non-durable
+    /// services). Bounds replay time before a planned shutdown.
+    pub fn checkpoint(&self) {
+        for s in &self.shards {
+            let mut st = s.lock_state();
+            st.force_checkpoint();
+        }
     }
 
     // ----- observability ------------------------------------------------
@@ -547,6 +647,15 @@ impl QueueService {
         }
         Ok(())
     }
+}
+
+/// Every key reachable from a pooled heap, in arbitrary order. Read-only —
+/// used to serialize a cross-shard move into the destination's WAL without
+/// giving up the zero-copy meld.
+fn pooled_keys_unsorted(pool: &HeapPool<i64>, h: &PooledHeap) -> Vec<i64> {
+    let mut ids = Vec::with_capacity(h.len());
+    pool.collect_node_ids(h, &mut ids);
+    ids.into_iter().map(|id| pool.arena().get(id).key).collect()
 }
 
 #[cfg(test)]

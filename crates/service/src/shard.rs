@@ -21,10 +21,13 @@
 //! pops read `pulled[j]` / `len + (pulled.len() - j)` — the exact state a
 //! sequential execution in that order would observe.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
+use meldpq::check::check_pool;
 use meldpq::pool::PooledHeap;
+use meldpq::wal::{self, WalError, WalOp, WalWriter, WAL_FILE};
 use meldpq::{Backend, Engine, HeapPool, MeldablePq};
 use obs::flight::{self, EventKind};
 use obs::LatencyHistogram;
@@ -33,6 +36,9 @@ use crate::batch::{Ingress, OpSlot, Request, Response};
 use crate::metrics::ShardStats;
 use crate::service::QueueId;
 use crate::ServiceError;
+
+/// Logged ops between automatic checkpoints on a durable shard.
+const SHARD_CHECKPOINT_EVERY: u64 = 1024;
 
 /// One tenant queue's storage. The shard's configured [`Backend`] decides
 /// the variant at creation: [`Backend::Pooled`] queues live in the shard's
@@ -124,6 +130,19 @@ pub(crate) struct TenantQueue {
     pub(crate) heap: TenantHeap,
 }
 
+/// A durable shard's write-ahead log handle: the open appender, the shard's
+/// durability directory, and the checkpoint cadence. Lives inside the state
+/// mutex so WAL appends are ordered exactly like the combiner's mutations.
+#[derive(Debug)]
+pub(crate) struct ShardWal {
+    writer: WalWriter,
+    dir: PathBuf,
+    /// Write a checkpoint after this many logged ops.
+    checkpoint_every: u64,
+    /// Ops logged since the last checkpoint.
+    since: u64,
+}
+
 /// The lock-protected half of a shard.
 #[derive(Debug)]
 pub(crate) struct ShardState {
@@ -131,6 +150,15 @@ pub(crate) struct ShardState {
     /// Slot-indexed tenant queues; `None` = destroyed/free.
     pub(crate) queues: Vec<Option<TenantQueue>>,
     /// Reusable slots with the generation their next occupant gets.
+    ///
+    /// Generations wrap (`gen.wrapping_add(1)` in [`ShardState::take_queue`]),
+    /// so a slot destroyed and recreated exactly 2³² times returns to a
+    /// previously issued generation and a handle from that ancient epoch
+    /// would validate again — the classic ABA window. We accept it: at one
+    /// create+destroy per microsecond on a single slot, wrap-around takes
+    /// over an hour of doing nothing else, and a client holding a handle
+    /// across 2³² reuses of its slot has long violated any reasonable
+    /// lease. `aba_generation_wraparound` below pins the behaviour.
     free_slots: Vec<(u32, u32)>,
     pub(crate) stats: ShardStats,
     /// Deposit-to-publish latency of every request served on this shard
@@ -141,6 +169,37 @@ pub(crate) struct ShardState {
     bulk_threshold: usize,
     /// Which engine newly created tenant queues get.
     backend: Backend,
+    /// Write-ahead log, present iff the shard was built durable. Any WAL
+    /// I/O failure disables it (`None`) rather than failing requests.
+    wal: Option<ShardWal>,
+}
+
+/// Append one logical op to the shard's WAL, if durability is on. An I/O
+/// failure counts a `wal_error` and turns durability off — the shard keeps
+/// serving from memory rather than amplifying a disk fault into an outage.
+fn wal_log(wal: &mut Option<ShardWal>, stats: &mut ShardStats, op: &WalOp) {
+    let Some(w) = wal else { return };
+    match w.writer.append(op) {
+        Ok(_) => {
+            stats.wal_appends += 1;
+            w.since += 1;
+        }
+        Err(_) => {
+            stats.wal_errors += 1;
+            *wal = None;
+        }
+    }
+}
+
+/// Flush buffered WAL records to the OS before the mutations they describe
+/// are applied (the write-*ahead* half of the contract). Failure disables
+/// durability, like [`wal_log`].
+fn wal_flush(wal: &mut Option<ShardWal>, stats: &mut ShardStats) {
+    let Some(w) = wal else { return };
+    if w.writer.flush().is_err() {
+        stats.wal_errors += 1;
+        *wal = None;
+    }
 }
 
 impl ShardState {
@@ -178,6 +237,107 @@ impl ShardState {
         self.stats.queues_destroyed += 1;
         Ok(q.heap)
     }
+
+    /// Structurally validate every pooled heap against the shard's pool.
+    /// Used after recovering a poisoned lock: the panicking combiner may
+    /// have left a mutation half-applied.
+    pub(crate) fn revalidate(&self) -> Result<(), String> {
+        let pooled: Vec<&PooledHeap> = self
+            .queues
+            .iter()
+            .flatten()
+            .filter_map(|q| match &q.heap {
+                TenantHeap::Pooled(h) => Some(h),
+                TenantHeap::Boxed(_) => None,
+            })
+            .collect();
+        check_pool(&self.pool, &pooled)
+    }
+
+    /// Last-resort recovery when [`ShardState::revalidate`] finds the state
+    /// damaged: drop every queue and start the shard over empty. Stale
+    /// handles fail cleanly with `UnknownQueue`; a durable shard's log and
+    /// checkpoint are restarted too, so recovery reflects the reset rather
+    /// than replaying the pre-damage history onto an empty pool.
+    pub(crate) fn reset_after_damage(&mut self) {
+        self.pool = HeapPool::new().with_engine(self.pool.engine());
+        self.queues.clear();
+        self.free_slots.clear();
+        self.stats.poison_resets += 1;
+        if let Some(w) = self.wal.take() {
+            let restarted = (|| -> std::io::Result<ShardWal> {
+                let ckpt = w.dir.join(wal::CHECKPOINT_FILE);
+                if ckpt.exists() {
+                    std::fs::remove_file(&ckpt)?;
+                }
+                let writer = WalWriter::create(&w.dir.join(WAL_FILE))?;
+                Ok(ShardWal { writer, ..w })
+            })();
+            match restarted {
+                Ok(w) => self.wal = Some(w),
+                Err(_) => self.stats.wal_errors += 1,
+            }
+        }
+    }
+
+    /// Whether this shard currently has an open write-ahead log.
+    pub(crate) fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Write a checkpoint if enough ops accumulated since the last one.
+    pub(crate) fn maybe_checkpoint(&mut self) {
+        let due = match &self.wal {
+            Some(w) => w.since >= w.checkpoint_every,
+            None => false,
+        };
+        if due {
+            self.force_checkpoint();
+        }
+    }
+
+    /// Write a checkpoint now (durable shards only; no-op otherwise).
+    ///
+    /// Only the pooled backend has a serializable slab; boxed engines are
+    /// recovered by full-log replay, so their "checkpoint" just resets the
+    /// cadence counter.
+    pub(crate) fn force_checkpoint(&mut self) {
+        let ShardState {
+            pool,
+            queues,
+            free_slots,
+            stats,
+            backend,
+            wal,
+            ..
+        } = self;
+        let Some(w) = wal else { return };
+        if *backend != Backend::Pooled {
+            w.since = 0;
+            return;
+        }
+        let wrote = (|| -> std::io::Result<()> {
+            w.writer.sync()?;
+            let seq = w.writer.next_seq().saturating_sub(1);
+            let heaps = queues.iter().enumerate().filter_map(|(i, s)| {
+                s.as_ref().and_then(|q| match &q.heap {
+                    TenantHeap::Pooled(h) => Some((i as u32, q.gen, h)),
+                    TenantHeap::Boxed(_) => None,
+                })
+            });
+            wal::write_checkpoint(&w.dir, seq, pool, heaps, free_slots)
+        })();
+        match wrote {
+            Ok(()) => {
+                w.since = 0;
+                stats.wal_checkpoints += 1;
+            }
+            Err(_) => {
+                stats.wal_errors += 1;
+                *wal = None;
+            }
+        }
+    }
 }
 
 /// A shard: ingress buffer + lock-protected pool state. See module docs.
@@ -206,8 +366,74 @@ impl Shard {
                 latency: LatencyHistogram::new(),
                 bulk_threshold: bulk_threshold.max(2),
                 backend,
+                wal: None,
             }),
         })
+    }
+
+    /// Build a durable shard rooted at `dir`: recover whatever state the
+    /// directory holds (checkpoint + WAL suffix for the pooled backend, full
+    /// WAL replay for boxed engines), then reopen the log for appending.
+    pub(crate) fn new_durable(
+        index: u16,
+        engine: Engine,
+        bulk_threshold: usize,
+        backend: Backend,
+        dir: PathBuf,
+    ) -> Result<Arc<Self>, WalError> {
+        let (pool, queues, free_slots, next_seq) = if backend == Backend::Pooled {
+            let state = wal::recover_dir(&dir, engine)?;
+            let queues = state
+                .heaps
+                .into_iter()
+                .map(|s| {
+                    s.map(|(gen, h)| TenantQueue {
+                        gen,
+                        heap: TenantHeap::Pooled(h),
+                    })
+                })
+                .collect();
+            (state.pool, queues, state.free_slots, state.next_seq)
+        } else {
+            // Boxed engines have no serializable slab, so there is no
+            // checkpoint to load — replay the whole log from genesis.
+            std::fs::create_dir_all(&dir)?;
+            let wal_path = dir.join(WAL_FILE);
+            let log = wal::read_wal(&wal_path)?;
+            if log.valid_len < log.file_len {
+                wal::truncate_wal(&wal_path, log.valid_len)?;
+            }
+            let mut pool = HeapPool::new().with_engine(engine);
+            let mut queues: Vec<Option<TenantQueue>> = Vec::new();
+            let mut free_slots: Vec<(u32, u32)> = Vec::new();
+            let mut next_seq = 1u64;
+            for (seq, op) in &log.records {
+                replay_boxed(&mut pool, &mut queues, &mut free_slots, backend, *seq, op)?;
+                next_seq = seq + 1;
+            }
+            flight::record_here(EventKind::Recover, log.records.len() as u64);
+            (pool, queues, free_slots, next_seq)
+        };
+        let writer = WalWriter::append_to(&dir.join(WAL_FILE), next_seq)?;
+        Ok(Arc::new(Shard {
+            index,
+            ingress: Ingress::new(),
+            state: Mutex::new(ShardState {
+                pool,
+                queues,
+                free_slots,
+                stats: ShardStats::default(),
+                latency: LatencyHistogram::new(),
+                bulk_threshold: bulk_threshold.max(2),
+                backend,
+                wal: Some(ShardWal {
+                    writer,
+                    dir,
+                    checkpoint_every: SHARD_CHECKPOINT_EVERY,
+                    since: 0,
+                }),
+            }),
+        }))
     }
 
     /// This shard's index in the service's shard map.
@@ -242,9 +468,14 @@ impl Shard {
     /// end-to-end as the client saw it, including any pending batch this
     /// thread served first.
     pub(crate) fn execute_now(&self, req: &Request, begun: u64) -> Option<(Response, u64)> {
-        let mut st = self.state.try_lock().ok()?;
+        let mut st = match self.state.try_lock() {
+            Ok(st) => st,
+            Err(TryLockError::Poisoned(p)) => self.heal(p.into_inner()),
+            Err(TryLockError::WouldBlock) => return None,
+        };
         self.combine_locked(&mut st);
         let resp = execute_single(&mut st, req);
+        st.maybe_checkpoint();
         let end = flight::now_nanos();
         st.latency.record(end.saturating_sub(begun));
         Some((resp, end))
@@ -255,7 +486,11 @@ impl Shard {
     pub(crate) fn try_combine(&self) -> bool {
         match self.state.try_lock() {
             Ok(mut st) => self.combine_locked(&mut st),
-            Err(_) => false,
+            Err(TryLockError::Poisoned(p)) => {
+                let mut st = self.heal(p.into_inner());
+                self.combine_locked(&mut st)
+            }
+            Err(TryLockError::WouldBlock) => false,
         }
     }
 
@@ -267,11 +502,14 @@ impl Shard {
             let batch = self.ingress.drain();
             if batch.is_empty() {
                 if did {
+                    st.maybe_checkpoint();
                     st.stats.combines += 1;
-                    st.stats.combine_ns = st
-                        .stats
-                        .combine_ns
-                        .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(0));
+                    // A tenure longer than u64 nanoseconds (585 years) can
+                    // only be clock corruption — saturate rather than
+                    // erasing the tenure from the occupancy average.
+                    st.stats.combine_ns = st.stats.combine_ns.saturating_add(
+                        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
                 }
                 return did;
             }
@@ -285,9 +523,27 @@ impl Shard {
         }
     }
 
-    /// Blocking-lock the state, first serving any pending batch.
+    /// Recover a poisoned state lock instead of cascading the panic to
+    /// every future client of the shard. The poison flag is cleared, the
+    /// recovery counted, and the state structurally revalidated — intact
+    /// state keeps serving; damaged state is reset to empty (queues lost,
+    /// handles stale) via [`ShardState::reset_after_damage`].
+    fn heal<'a>(&'a self, mut st: MutexGuard<'a, ShardState>) -> MutexGuard<'a, ShardState> {
+        self.state.clear_poison();
+        st.stats.poison_recoveries += 1;
+        if st.revalidate().is_err() {
+            st.reset_after_damage();
+        }
+        st
+    }
+
+    /// Blocking-lock the state, first serving any pending batch. A poisoned
+    /// lock is healed, not propagated.
     pub(crate) fn lock_state(&self) -> MutexGuard<'_, ShardState> {
-        let mut st = self.state.lock().expect("shard state poisoned");
+        let mut st = match self.state.lock() {
+            Ok(st) => st,
+            Err(p) => self.heal(p.into_inner()),
+        };
         self.combine_locked(&mut st);
         st
     }
@@ -296,7 +552,10 @@ impl Shard {
     /// path. Serving pending batches here would perturb exactly what a
     /// snapshot wants to observe (ingress backlog, combiner behaviour).
     pub(crate) fn peek_state(&self) -> MutexGuard<'_, ShardState> {
-        self.state.lock().expect("shard state poisoned")
+        match self.state.lock() {
+            Ok(st) => st,
+            Err(p) => self.heal(p.into_inner()),
+        }
     }
 
     /// Requests currently waiting in this shard's ingress buffer.
@@ -305,20 +564,43 @@ impl Shard {
     }
 
     /// Create a queue on this shard and hand back its (current-generation)
-    /// handle.
+    /// handle. On a durable shard the creation is logged (and the log
+    /// flushed) before the slot is occupied.
     pub(crate) fn create_queue(&self) -> QueueId {
         let mut st = self.lock_state();
-        st.stats.queues_created += 1;
-        if let Some((slot, gen)) = st.free_slots.pop() {
-            let heap = st.new_tenant_heap();
-            st.queues[slot as usize] = Some(TenantQueue { gen, heap });
-            QueueId::new(self.index, slot, gen)
-        } else {
-            let slot = st.queues.len() as u32;
-            let heap = st.new_tenant_heap();
-            st.queues.push(Some(TenantQueue { gen: 0, heap }));
-            QueueId::new(self.index, slot, 0)
+        let (slot, gen) = match st.free_slots.last() {
+            Some(&(s, g)) => (s, g),
+            None => (st.queues.len() as u32, 0),
+        };
+        {
+            let ShardState { stats, wal, .. } = &mut *st;
+            wal_log(wal, stats, &WalOp::CreateHeap { slot, gen });
+            wal_flush(wal, stats);
         }
+        st.stats.queues_created += 1;
+        let heap = st.new_tenant_heap();
+        if st.free_slots.last().map(|&(s, _)| s) == Some(slot) {
+            st.free_slots.pop();
+            st.queues[slot as usize] = Some(TenantQueue { gen, heap });
+        } else {
+            st.queues.push(Some(TenantQueue { gen, heap }));
+        }
+        st.maybe_checkpoint();
+        QueueId::new(self.index, slot, gen)
+    }
+
+    /// Log one op on behalf of the service front end (meld/destroy run
+    /// outside the combiner), flushing before the caller mutates state.
+    /// No-op on non-durable shards.
+    pub(crate) fn log_ops(st: &mut ShardState, ops: &[WalOp]) {
+        if st.wal.is_none() {
+            return;
+        }
+        let ShardState { stats, wal, .. } = st;
+        for op in ops {
+            wal_log(wal, stats, op);
+        }
+        wal_flush(wal, stats);
     }
 }
 
@@ -327,6 +609,12 @@ type PendingOp = (Request, Arc<OpSlot>);
 
 /// Execute one drained batch against the shard state. See the module docs
 /// for the linearization argument.
+///
+/// Each queue group runs under a catch-unwind barrier: a panic inside one
+/// tenant's kernels (a buggy boxed engine, a violated invariant) must not
+/// poison the shard for every other tenant. The panicking group's unfilled
+/// slots get [`ServiceError::Internal`], the state is revalidated (and reset
+/// if damaged), and the remaining groups still execute.
 fn execute_batch(st: &mut ShardState, batch: Vec<PendingOp>) {
     st.stats.batches += 1;
     st.stats.max_batch = st.stats.max_batch.max(batch.len() as u64);
@@ -343,7 +631,19 @@ fn execute_batch(st: &mut ShardState, batch: Vec<PendingOp>) {
     }
 
     for (qid, ops) in groups {
-        execute_queue_group(st, qid, ops);
+        let slots: Vec<Arc<OpSlot>> = ops.iter().map(|(_, s)| Arc::clone(s)).collect();
+        let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_queue_group(st, qid, ops);
+        }));
+        if contained.is_err() {
+            st.stats.combiner_panics += 1;
+            for slot in &slots {
+                slot.fill_if_empty(Response::Err(ServiceError::Internal(qid)));
+            }
+            if st.revalidate().is_err() {
+                st.reset_after_damage();
+            }
+        }
     }
 }
 
@@ -359,6 +659,7 @@ fn execute_single(st: &mut ShardState, req: &Request) -> Response {
         pool,
         queues,
         stats,
+        wal,
         ..
     } = st;
     let qid = req.queue();
@@ -370,6 +671,42 @@ fn execute_single(st: &mut ShardState, req: &Request) -> Response {
         stats.stale_ops += 1;
         return Response::Err(ServiceError::UnknownQueue(qid));
     };
+    // Admission control: refuse a pooled insert that would overflow the
+    // slab's u32 id space before logging or mutating anything.
+    if let TenantHeap::Pooled(_) = q.heap {
+        let requested = match req {
+            Request::Insert { .. } => 1,
+            Request::MultiInsert { keys, .. } => keys.len(),
+            _ => 0,
+        };
+        if requested > 0 {
+            if let Err(err) = pool.can_admit(requested) {
+                return Response::Err(ServiceError::Capacity { queue: qid, err });
+            }
+        }
+    }
+    if wal.is_some() {
+        let logged = match req {
+            Request::Insert { key, .. } => Some(WalOp::Insert {
+                slot: qid.slot(),
+                key: *key,
+            }),
+            Request::MultiInsert { keys, .. } => Some(WalOp::FromKeys {
+                slot: qid.slot(),
+                keys: keys.clone(),
+            }),
+            Request::ExtractMin { .. } => Some(WalOp::ExtractMin { slot: qid.slot() }),
+            Request::ExtractK { k, .. } => Some(WalOp::MultiExtractMin {
+                slot: qid.slot(),
+                k: *k as u64,
+            }),
+            Request::PeekMin { .. } | Request::Len { .. } => None,
+        };
+        if let Some(op) = logged {
+            wal_log(wal, stats, &op);
+            wal_flush(wal, stats);
+        }
+    }
     match req {
         Request::Insert { key, .. } => {
             q.heap.insert(pool, *key);
@@ -413,6 +750,7 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         queues,
         stats,
         latency,
+        wal,
         ..
     } = st;
     let Some(q) = queues
@@ -451,7 +789,45 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         .first()
         .map(|(_, slot)| slot.trace())
         .unwrap_or(obs::TraceId::NONE);
-    if keys.len() >= bulk_threshold {
+
+    // Admission control + write-ahead logging, both strictly before any
+    // mutation: a refused batch leaves the queue untouched (pops are still
+    // served), and every logged op is flushed before it is applied.
+    let mut refused = None;
+    if !keys.is_empty() {
+        if let TenantHeap::Pooled(_) = q.heap {
+            if let Err(err) = pool.can_admit(keys.len()) {
+                refused = Some(err);
+            }
+        }
+    }
+    if wal.is_some() {
+        if refused.is_none() && !keys.is_empty() {
+            wal_log(
+                wal,
+                stats,
+                &WalOp::FromKeys {
+                    slot: qid.slot(),
+                    keys: keys.clone(),
+                },
+            );
+        }
+        if demand > 0 {
+            wal_log(
+                wal,
+                stats,
+                &WalOp::MultiExtractMin {
+                    slot: qid.slot(),
+                    k: demand as u64,
+                },
+            );
+        }
+        wal_flush(wal, stats);
+    }
+
+    if refused.is_some() {
+        // Nothing admitted; the pop phases below still run.
+    } else if keys.len() >= bulk_threshold {
         flight::record(group_trace, EventKind::BulkAdmission, keys.len() as u64);
         q.heap.bulk_insert(pool, &keys);
         stats.bulk_builds += 1;
@@ -479,7 +855,10 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
     let mut j = 0usize;
     for (req, slot) in ops {
         let resp = match req {
-            Request::Insert { .. } | Request::MultiInsert { .. } => Response::Done,
+            Request::Insert { .. } | Request::MultiInsert { .. } => match refused {
+                Some(err) => Response::Err(ServiceError::Capacity { queue: qid, err }),
+                None => Response::Done,
+            },
             Request::ExtractMin { .. } => {
                 let got = pulled.get(j).copied();
                 if got.is_some() {
@@ -505,6 +884,73 @@ fn execute_queue_group(st: &mut ShardState, qid: QueueId, ops: Vec<(Request, Arc
         flight::record_at(now, slot.trace(), EventKind::OpEnd, req.op_code());
         slot.fill(resp);
     }
+}
+
+/// Replay one WAL record into a boxed-backend shard being recovered.
+/// Mirrors `meldpq::wal`'s pooled replay, but applies ops through the
+/// [`MeldablePq`] surface (meld degrades to drain + bulk insert).
+fn replay_boxed(
+    pool: &mut HeapPool<i64>,
+    queues: &mut Vec<Option<TenantQueue>>,
+    free_slots: &mut Vec<(u32, u32)>,
+    backend: Backend,
+    seq: u64,
+    op: &WalOp,
+) -> Result<(), WalError> {
+    fn live(queues: &mut [Option<TenantQueue>], slot: u32) -> Result<&mut TenantQueue, WalError> {
+        queues
+            .get_mut(slot as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(WalError::UnknownSlot(slot))
+    }
+    match op {
+        WalOp::CreateHeap { slot, gen } => {
+            let i = *slot as usize;
+            if queues.len() <= i {
+                queues.resize_with(i + 1, || None);
+            }
+            if queues[i].is_some() {
+                return Err(WalError::Corrupt {
+                    seq,
+                    reason: format!("create of occupied slot {slot}"),
+                });
+            }
+            if let Some(at) = free_slots.iter().rposition(|(s, _)| s == slot) {
+                free_slots.remove(at);
+            }
+            queues[i] = Some(TenantQueue {
+                gen: *gen,
+                heap: TenantHeap::Boxed(backend.make()),
+            });
+        }
+        WalOp::Insert { slot, key } => live(queues, *slot)?.heap.insert(pool, *key),
+        WalOp::FromKeys { slot, keys } => live(queues, *slot)?.heap.bulk_insert(pool, keys),
+        WalOp::ExtractMin { slot } => {
+            live(queues, *slot)?.heap.extract_min(pool);
+        }
+        WalOp::MultiExtractMin { slot, k } => {
+            let q = live(queues, *slot)?;
+            let k = usize::try_from(*k).unwrap_or(usize::MAX).min(q.heap.len());
+            q.heap.multi_extract(pool, k);
+        }
+        WalOp::Meld { dst, src } => {
+            let mut taken = queues
+                .get_mut(*src as usize)
+                .and_then(|s| s.take())
+                .ok_or(WalError::UnknownSlot(*src))?;
+            let keys = taken.heap.drain_all(pool);
+            free_slots.push((*src, taken.gen.wrapping_add(1)));
+            live(queues, *dst)?.heap.bulk_insert(pool, &keys);
+        }
+        WalOp::FreeHeap { slot } => {
+            let taken = queues
+                .get_mut(*slot as usize)
+                .and_then(|s| s.take())
+                .ok_or(WalError::UnknownSlot(*slot))?;
+            free_slots.push((*slot, taken.gen.wrapping_add(1)));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -578,6 +1024,118 @@ mod tests {
         let q2 = shard.create_queue();
         assert_eq!(q2.slot(), q.slot());
         assert_ne!(q2.generation(), q.generation());
+    }
+
+    /// A deliberately broken engine: any insert panics. Stands in for a
+    /// buggy backend to prove the combiner's panic barrier.
+    struct PanickingPq;
+
+    impl MeldablePq<i64> for PanickingPq {
+        fn len(&self) -> usize {
+            0
+        }
+        fn insert(&mut self, _key: i64) {
+            panic!("injected engine fault");
+        }
+        fn peek_min(&mut self) -> Option<i64> {
+            None
+        }
+        fn extract_min(&mut self) -> Option<i64> {
+            None
+        }
+        fn meld(&mut self, _other: Self) {}
+    }
+
+    #[test]
+    fn combiner_panic_is_contained_and_shard_keeps_serving() {
+        let shard = Shard::new(0, Engine::Sequential, 8, Backend::Pooled);
+        let good = shard.create_queue();
+        let bad = shard.create_queue();
+        // Swap the second queue's engine for the panicking one.
+        {
+            let mut st = shard.lock_state();
+            st.queue_mut(bad).unwrap().heap = TenantHeap::Boxed(Box::new(PanickingPq));
+        }
+        // One batch with ops for both queues: the bad group panics, the
+        // good group must still execute and the shard must stay usable.
+        let s_good = shard.ingress.push(Request::Insert {
+            queue: good,
+            key: 4,
+        });
+        let s_bad = shard.ingress.push(Request::Insert { queue: bad, key: 9 });
+        assert!(shard.try_combine());
+        assert_eq!(s_good.try_take(), Some(Response::Done));
+        assert_eq!(
+            s_bad.try_take(),
+            Some(Response::Err(ServiceError::Internal(bad)))
+        );
+        // The shard still serves: the panic neither poisoned the lock nor
+        // wedged the combiner.
+        let s2 = shard.submit(Request::ExtractMin { queue: good });
+        shard.try_combine();
+        assert_eq!(s2.try_take(), Some(Response::Key(Some(4))));
+        let st = shard.peek_state();
+        assert_eq!(st.stats.combiner_panics, 1);
+        assert_eq!(st.stats.poison_recoveries, 0, "lock never poisoned");
+    }
+
+    #[test]
+    fn poisoned_lock_is_healed_not_cascaded() {
+        let shard = Shard::new(0, Engine::Sequential, 8, Backend::Pooled);
+        let q = shard.create_queue();
+        {
+            let slot = shard.submit(Request::Insert { queue: q, key: 1 });
+            shard.try_combine();
+            assert_eq!(slot.try_take(), Some(Response::Done));
+        }
+        // Poison the state mutex by panicking while holding it, without
+        // touching the state (so revalidation finds it intact).
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _st = shard.peek_state();
+            panic!("injected panic under the state lock");
+        }));
+        assert!(res.is_err());
+        // Every lock path must recover instead of propagating the poison.
+        let slot = shard.submit(Request::ExtractMin { queue: q });
+        shard.try_combine();
+        assert_eq!(slot.try_take(), Some(Response::Key(Some(1))));
+        let st = shard.peek_state();
+        assert!(st.stats.poison_recoveries >= 1);
+        assert_eq!(st.stats.poison_resets, 0, "state was intact");
+    }
+
+    #[test]
+    fn aba_generation_wraparound() {
+        // Documented ABA window: a slot's generation wraps modulo 2^32, so
+        // after exactly 2^32 destroy/create cycles an ancient handle would
+        // validate again. Simulate the wrap by pinning the free slot's next
+        // generation to u32::MAX and cycling it twice.
+        let shard = Shard::new(0, Engine::Sequential, 8, Backend::Pooled);
+        let q0 = shard.create_queue(); // slot 0, gen 0
+        {
+            let mut st = shard.lock_state();
+            st.take_queue(q0).unwrap();
+            st.free_slots.clear();
+            st.free_slots.push((q0.slot(), u32::MAX));
+        }
+        let q_max = shard.create_queue();
+        assert_eq!(q_max.generation(), u32::MAX);
+        {
+            let mut st = shard.lock_state();
+            st.take_queue(q_max).unwrap();
+            assert_eq!(
+                st.free_slots.last(),
+                Some(&(q0.slot(), 0)),
+                "generation wraps to 0"
+            );
+        }
+        let q_wrapped = shard.create_queue();
+        // The wrapped handle is bit-identical to the original: the stale q0
+        // handle addresses the new queue. This is the accepted ABA window.
+        assert_eq!(q_wrapped, q0);
+        let slot = shard.submit(Request::Insert { queue: q0, key: 5 });
+        shard.try_combine();
+        assert_eq!(slot.try_take(), Some(Response::Done));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Durable service integration: build → mutate → drop → rebuild from the
+//! same root recovers every tenant queue, for the pooled backend
+//! (checkpoint + WAL suffix) and a boxed backend (full-log replay).
+
+use std::path::PathBuf;
+
+use meldpq::Backend;
+use service::{Response, ServiceBuilder};
+
+struct TmpRoot(PathBuf);
+
+impl TmpRoot {
+    fn new(tag: &str) -> TmpRoot {
+        let dir =
+            std::env::temp_dir().join(format!("meldpq-svc-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TmpRoot(dir)
+    }
+}
+
+impl Drop for TmpRoot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn builder(root: &TmpRoot, backend: Backend) -> ServiceBuilder {
+    ServiceBuilder::new()
+        .shards(2)
+        .backend(backend)
+        .bulk_threshold(4)
+        .durable(root.0.clone())
+}
+
+#[test]
+fn durable_service_survives_restart_pooled() {
+    let root = TmpRoot::new("pooled");
+    let (a, b, c);
+    {
+        let svc = builder(&root, Backend::Pooled).try_build().expect("build");
+        a = svc.create_queue(); // shard 0
+        b = svc.create_queue(); // shard 1
+        c = svc.create_queue(); // shard 0
+        svc.multi_insert(a, vec![5, 1, 9, 3]).unwrap();
+        svc.insert(b, 7).unwrap();
+        svc.multi_insert(c, vec![2, 8]).unwrap();
+        assert_eq!(svc.extract_min(a).unwrap(), Some(1));
+        svc.meld(a, c).unwrap(); // same shard: one logged Meld record
+        svc.destroy_queue(b).unwrap(); // logged FreeHeap
+        let stats = svc.shard_stats(0);
+        assert!(stats.wal_appends >= 5, "ops were logged: {stats:?}");
+        assert_eq!(stats.wal_errors, 0);
+    } // drop = crash (records are flushed before every mutation)
+
+    let svc = builder(&root, Backend::Pooled)
+        .try_build()
+        .expect("recover");
+    svc.validate().expect("recovered state validates");
+    assert_eq!(
+        svc.extract_k(a, 10).unwrap(),
+        vec![2, 3, 5, 8, 9],
+        "queue a recovered with the melded keys, minus the extracted 1"
+    );
+    assert!(
+        svc.len(b).is_err(),
+        "destroyed queue stays destroyed after recovery"
+    );
+    assert!(svc.len(c).is_err(), "melded-away queue stays stale");
+    // The recovered service keeps serving and logging.
+    svc.insert(a, 42).unwrap();
+    assert_eq!(svc.peek_min(a).unwrap(), Some(42));
+}
+
+#[test]
+fn durable_service_survives_restart_boxed_backend() {
+    // No checkpoint exists for boxed engines: recovery is full-log replay.
+    let root = TmpRoot::new("boxed");
+    let q;
+    {
+        let svc = builder(&root, Backend::Pairing).try_build().expect("build");
+        q = svc.create_queue();
+        svc.multi_insert(q, vec![30, 10, 20]).unwrap();
+        assert_eq!(svc.extract_min(q).unwrap(), Some(10));
+    }
+    let svc = builder(&root, Backend::Pairing)
+        .try_build()
+        .expect("recover");
+    assert_eq!(svc.extract_k(q, 5).unwrap(), vec![20, 30]);
+}
+
+#[test]
+fn cross_shard_meld_is_durable() {
+    let root = TmpRoot::new("xshard");
+    let (a, b);
+    {
+        let svc = builder(&root, Backend::Pooled).try_build().expect("build");
+        a = svc.create_queue(); // shard 0
+        b = svc.create_queue(); // shard 1
+        svc.multi_insert(a, vec![4, 6]).unwrap();
+        svc.multi_insert(b, vec![1, 9]).unwrap();
+        // src FreeHeap lands in shard 1's log, the moved keys as FromKeys
+        // in shard 0's — both flushed before the mutation.
+        svc.meld(a, b).unwrap();
+    }
+    let svc = builder(&root, Backend::Pooled)
+        .try_build()
+        .expect("recover");
+    assert_eq!(svc.extract_k(a, 10).unwrap(), vec![1, 4, 6, 9]);
+    assert!(svc.len(b).is_err(), "melded-away source is stale");
+}
+
+#[test]
+fn explicit_checkpoint_bounds_replay() {
+    let root = TmpRoot::new("ckpt");
+    let q;
+    {
+        let svc = builder(&root, Backend::Pooled).try_build().expect("build");
+        q = svc.create_queue();
+        svc.multi_insert(q, (0..32).collect()).unwrap();
+        svc.checkpoint();
+        let stats = svc.shard_stats((q.shard()) as usize);
+        assert_eq!(stats.wal_checkpoints, 1);
+        // Post-checkpoint ops land in the WAL suffix.
+        svc.insert(q, -1).unwrap();
+    }
+    let svc = builder(&root, Backend::Pooled)
+        .try_build()
+        .expect("recover");
+    assert_eq!(svc.extract_min(q).unwrap(), Some(-1));
+    assert_eq!(svc.len(q).unwrap(), 32);
+}
+
+#[test]
+fn async_surface_is_logged_too() {
+    let root = TmpRoot::new("async");
+    let q;
+    {
+        let svc = builder(&root, Backend::Pooled).try_build().expect("build");
+        q = svc.create_queue();
+        let t1 = svc.insert_async(q, 3).unwrap();
+        let t2 = svc.insert_async(q, 1).unwrap();
+        assert_eq!(t1.wait(), Response::Done);
+        assert_eq!(t2.wait(), Response::Done);
+    }
+    let svc = builder(&root, Backend::Pooled)
+        .try_build()
+        .expect("recover");
+    assert_eq!(svc.extract_k(q, 4).unwrap(), vec![1, 3]);
+}
